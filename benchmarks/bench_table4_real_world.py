@@ -1,0 +1,70 @@
+"""Table IV: the real-world case study — MuFuzz on a D3 sample.
+
+Paper reference: 86 alarms over 100 contracts, 94% true-positive rate
+(81 TP / 5 FP; FPs concentrated in BD, RE, UE from imprecise oracles),
+average branch coverage 80.71%.  The shape: an IO/BD-heavy alarm profile, a
+small FP tail on exactly those classes, and high average coverage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.core import Fuzzer, mufuzz_config
+from repro.corpus import generate_d3
+from repro.oracles.base import ALL_BUG_CLASSES
+from repro.reporting import format_table
+
+
+@pytest.fixture(scope="module")
+def d3():
+    return generate_d3(count=scaled(30, 100), seed=500)
+
+
+def _case_study(corpus, iterations):
+    per_class = {bc: {"reported": 0, "tp": 0, "fp": 0}
+                 for bc in ALL_BUG_CLASSES}
+    coverage = 0.0
+    flagged = 0
+    for contract in corpus:
+        result = Fuzzer(contract.artifact,
+                        mufuzz_config(iterations=iterations,
+                                      rng_seed=31)).run()
+        coverage += result.coverage
+        found = result.bug_classes
+        if found:
+            flagged += 1
+        for bug_class in found:
+            per_class[bug_class]["reported"] += 1
+            # Table IV is manually audited: lookalikes count as FP here.
+            if bug_class in contract.expected_bugs:
+                per_class[bug_class]["tp"] += 1
+            else:
+                per_class[bug_class]["fp"] += 1
+    return per_class, coverage / len(corpus), flagged
+
+
+def test_table4_real_world(d3, once, report):
+    per_class, avg_coverage, flagged = once(
+        _case_study, d3, scaled(300, 500))
+
+    rows = []
+    total = {"reported": 0, "tp": 0, "fp": 0}
+    for bug_class in ALL_BUG_CLASSES:
+        cell = per_class[bug_class]
+        rows.append([bug_class.value, cell["reported"], cell["tp"],
+                     cell["fp"]])
+        for key in total:
+            total[key] += cell[key]
+    rows.append(["Total", total["reported"], total["tp"], total["fp"]])
+    rows.append(["Average Coverage", f"{avg_coverage:.2%}", "", ""])
+    rows.append(["Contracts flagged", flagged, "", ""])
+    report("table4", format_table(
+        ["Bug ID", "Reported", "TP", "FP"], rows,
+        title="Table IV — real-world case study (D3 sample, MuFuzz)"))
+
+    if total["reported"]:
+        precision = total["tp"] / total["reported"]
+        assert precision >= 0.6, f"precision collapsed: {precision:.0%}"
+    assert avg_coverage > 0.55

@@ -1,0 +1,52 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one paper artefact (table or figure), prints it to
+the terminal, and persists it under ``benchmarks/results/``.  Scale is
+controlled by ``REPRO_BENCH_SCALE``:
+
+* ``small`` (default) — subsampled corpora and reduced iteration budgets so
+  the whole harness completes in a few minutes on a laptop;
+* ``full``  — the complete generated corpora and paper-scale (for our
+  substrate) budgets.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def scaled(small: int, full: int) -> int:
+    """Pick a knob value by scale."""
+    return full if SCALE == "full" else small
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a result table to the real terminal and persist it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _report
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a campaign exactly once under pytest-benchmark timing."""
+
+    def _once(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _once

@@ -1,0 +1,7 @@
+"""Setup shim: enables `python setup.py develop` / legacy editable installs
+in offline environments that lack the `wheel` package (PEP 660 builds need
+it; this shim does not)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""MuFuzz reproduction: sequence-aware, mask-guided smart-contract fuzzing.
+
+This package reimplements the full system of *MuFuzz: Sequence-Aware
+Mutation and Seed Mask Guidance for Blockchain Smart Contract Fuzzing*
+(ICDE 2024) together with every substrate it needs offline:
+
+* :mod:`repro.lang` / :mod:`repro.compiler` — a Solidity-subset language
+  ("MiniSol") compiled to genuine EVM-subset bytecode with ABI and AST.
+* :mod:`repro.evm` / :mod:`repro.chain` — a 256-bit EVM with taint-tracking
+  traces, plus accounts, storage, reverts, and reentrancy-capable agents.
+* :mod:`repro.analysis` — disassembly, CFG, state-variable data-flow
+  (write→read and read-after-write), path-prefix reachability, distances.
+* :mod:`repro.core` — the fuzzer: sequence-aware mutation (§IV-A),
+  mask-guided seed mutation (§IV-B), dynamic energy adjustment (§IV-C).
+* :mod:`repro.oracles` — the nine bug oracles (§IV-D).
+* :mod:`repro.baselines` — sFuzz/ConFuzzius/IR-Fuzz/Smartian presets and
+  behavioural models of Oyente/Mythril/Osiris/Securify/Slither.
+* :mod:`repro.corpus` — deterministic D1/D2/D3 benchmark generators.
+
+Quickstart::
+
+    from repro import fuzz_contract, mufuzz_config
+    result = fuzz_contract(source, mufuzz_config(iterations=300))
+    print(result.coverage, result.findings)
+"""
+
+from repro.compiler import compile_source
+from repro.core import (
+    CampaignResult,
+    Fuzzer,
+    FuzzerConfig,
+    confuzzius_config,
+    fuzz_contract,
+    irfuzz_config,
+    mufuzz_config,
+    sfuzz_config,
+    smartian_config,
+)
+from repro.oracles import BugClass, Finding
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compile_source",
+    "Fuzzer",
+    "FuzzerConfig",
+    "CampaignResult",
+    "fuzz_contract",
+    "mufuzz_config",
+    "sfuzz_config",
+    "confuzzius_config",
+    "irfuzz_config",
+    "smartian_config",
+    "BugClass",
+    "Finding",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Static and hybrid analyses backing the fuzzer.
+
+* :mod:`repro.analysis.disassembler` — bytecode → instruction stream.
+* :mod:`repro.analysis.cfg` — basic blocks and edges over the bytecode.
+* :mod:`repro.analysis.dataflow` — AST-level state-variable read/write and
+  read-after-write analysis (§IV-A of the paper).
+* :mod:`repro.analysis.prefix` — lightweight path-prefix reachability of
+  vulnerable instructions (§IV-C, Algorithm 3 support).
+* :mod:`repro.analysis.distance` — branch-distance aggregation helpers.
+"""
+
+from repro.analysis.disassembler import Instruction, disassemble, jumpi_pcs
+from repro.analysis.cfg import BasicBlock, CFG, build_cfg
+from repro.analysis.dataflow import (
+    FunctionDataflow,
+    ContractDataflow,
+    analyze_contract,
+)
+from repro.analysis.prefix import PrefixAnalyzer
+from repro.analysis.distance import branch_distance_summary
+
+__all__ = [
+    "Instruction",
+    "disassemble",
+    "jumpi_pcs",
+    "BasicBlock",
+    "CFG",
+    "build_cfg",
+    "FunctionDataflow",
+    "ContractDataflow",
+    "analyze_contract",
+    "PrefixAnalyzer",
+    "branch_distance_summary",
+]

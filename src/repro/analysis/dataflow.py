@@ -1,0 +1,291 @@
+"""State-variable data-flow analysis over the MiniSol AST (§IV-A).
+
+For every function the analysis computes:
+
+* ``reads`` / ``writes`` — state variables the function reads/writes,
+* ``branch_reads`` — state variables read inside branch conditions
+  (if/while/for/require/assert), through one level of local aliasing,
+* ``raw_self_deps`` — state variables with a read-after-write dependency
+  *within* the function (``invested += x`` style),
+
+and at contract level the write→read ordering edges between functions plus
+the set of functions the sequence mutation should execute repeatedly: those
+with a RAW self-dependency on a variable that some branch condition reads —
+the paper's rule for the Crowdsale ``invest`` function.
+
+Internal calls are resolved to a fixpoint so a public wrapper inherits the
+effects of the helpers it calls; modifier bodies are merged into each
+function that uses them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast_nodes as ast
+
+
+@dataclass
+class FunctionDataflow:
+    """Per-function read/write facts."""
+
+    name: str
+    reads: set = field(default_factory=set)
+    writes: set = field(default_factory=set)
+    branch_reads: set = field(default_factory=set)
+    raw_self_deps: set = field(default_factory=set)
+    calls: set = field(default_factory=set)  # internal callees
+
+    @property
+    def touches_state(self) -> bool:
+        return bool(self.reads or self.writes)
+
+
+@dataclass
+class ContractDataflow:
+    """Whole-contract data-flow summary."""
+
+    contract: ast.ContractDef
+    functions: dict = field(default_factory=dict)  # name -> FunctionDataflow
+
+    @property
+    def state_vars(self) -> list:
+        return [v.name for v in self.contract.state_vars]
+
+    @property
+    def branch_read_vars(self) -> set:
+        """State variables read by any branch condition in the contract."""
+        out: set = set()
+        for df in self.functions.values():
+            out |= df.branch_reads
+        return out
+
+    def of(self, name: str) -> FunctionDataflow:
+        return self.functions[name]
+
+    def write_read_edges(self) -> list:
+        """(writer, reader, var) triples over external functions."""
+        edges = []
+        externals = [fn.name for fn in self.contract.external_functions]
+        for writer in externals:
+            for reader in externals:
+                if writer == reader:
+                    continue
+                shared = (self.functions[writer].writes
+                          & self.functions[reader].reads)
+                for var in sorted(shared):
+                    edges.append((writer, reader, var))
+        return edges
+
+    def repeat_candidates(self) -> set:
+        """External functions the sequence mutation should duplicate:
+        RAW self-dependency on a variable read by a branch statement."""
+        branch_vars = self.branch_read_vars
+        out: set = set()
+        for fn in self.contract.external_functions:
+            df = self.functions[fn.name]
+            if df.raw_self_deps & branch_vars:
+                out.add(fn.name)
+        return out
+
+    def stateful_functions(self) -> list:
+        """External functions that touch persistent state, in declaration
+        order (the only ones worth fuzzing, per the paper)."""
+        return [fn.name for fn in self.contract.external_functions
+                if self.functions[fn.name].touches_state]
+
+
+class _FunctionWalker:
+    """Collects data-flow facts from one function body."""
+
+    def __init__(self, state_vars: set) -> None:
+        self.state_vars = state_vars
+        self.df_reads: set = set()
+        self.df_writes: set = set()
+        self.branch_reads: set = set()
+        self.raw_self: set = set()
+        self.calls: set = set()
+        #: local name -> state vars its value was derived from
+        self.local_taints: dict = {}
+
+    # -- expression reads --------------------------------------------------------
+
+    def expr_reads(self, expr: ast.Expr | None) -> set:
+        """State variables (directly or via tainted locals) read by ``expr``."""
+        if expr is None:
+            return set()
+        out: set = set()
+        self._expr_reads(expr, out)
+        return out
+
+    def _expr_reads(self, expr: ast.Expr, out: set) -> None:
+        if isinstance(expr, ast.Ident):
+            if expr.name in self.state_vars:
+                out.add(expr.name)
+            else:
+                out |= self.local_taints.get(expr.name, set())
+            return
+        if isinstance(expr, ast.Index):
+            if expr.base in self.state_vars:
+                out.add(expr.base)
+            self._expr_reads(expr.key, out)
+            return
+        if isinstance(expr, ast.InternalCall):
+            self.calls.add(expr.name)
+        for value in vars(expr).values():
+            if isinstance(value, ast.Expr):
+                self._expr_reads(value, out)
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ast.Expr):
+                        self._expr_reads(item, out)
+
+    # -- statements -----------------------------------------------------------------
+
+    def walk(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.statements:
+                self.walk(inner)
+            return
+        if isinstance(stmt, ast.VarDecl):
+            taints = self.expr_reads(stmt.init)
+            self.df_reads |= taints
+            self.local_taints[stmt.name] = set(taints)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._walk_assign(stmt)
+            return
+        if isinstance(stmt, ast.If):
+            cond_reads = self.expr_reads(stmt.cond)
+            self.df_reads |= cond_reads
+            self.branch_reads |= cond_reads
+            self.walk(stmt.then)
+            if stmt.otherwise is not None:
+                self.walk(stmt.otherwise)
+            return
+        if isinstance(stmt, ast.While):
+            cond_reads = self.expr_reads(stmt.cond)
+            self.df_reads |= cond_reads
+            self.branch_reads |= cond_reads
+            self.walk(stmt.body)
+            return
+        if isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self.walk(stmt.init)
+            if stmt.cond is not None:
+                cond_reads = self.expr_reads(stmt.cond)
+                self.df_reads |= cond_reads
+                self.branch_reads |= cond_reads
+            if stmt.update is not None:
+                self.walk(stmt.update)
+            self.walk(stmt.body)
+            return
+        if isinstance(stmt, (ast.Require, ast.AssertStmt)):
+            cond_reads = self.expr_reads(stmt.cond)
+            self.df_reads |= cond_reads
+            self.branch_reads |= cond_reads
+            return
+        if isinstance(stmt, ast.Return):
+            self.df_reads |= self.expr_reads(stmt.value)
+            return
+        if isinstance(stmt, ast.ExprStmt):
+            self.df_reads |= self.expr_reads(stmt.expr)
+            return
+        if isinstance(stmt, ast.Transfer):
+            self.df_reads |= self.expr_reads(stmt.target)
+            self.df_reads |= self.expr_reads(stmt.amount)
+            return
+        if isinstance(stmt, ast.SelfDestructStmt):
+            self.df_reads |= self.expr_reads(stmt.beneficiary)
+            return
+        if isinstance(stmt, ast.Emit):
+            for arg in stmt.args:
+                self.df_reads |= self.expr_reads(arg)
+            return
+        # Placeholder / RevertStmt: nothing to collect.
+
+    def _walk_assign(self, stmt: ast.Assign) -> None:
+        rhs_reads = self.expr_reads(stmt.value)
+        self.df_reads |= rhs_reads
+        target = stmt.target
+
+        if isinstance(target, ast.Ident):
+            name = target.name
+            if name in self.state_vars:
+                self.df_writes.add(name)
+                if stmt.op != "=":
+                    # compound assignment reads the target too
+                    self.df_reads.add(name)
+                    self.raw_self.add(name)
+                elif name in rhs_reads:
+                    self.raw_self.add(name)
+            else:
+                self.local_taints[name] = set(rhs_reads)
+                if stmt.op != "=":
+                    self.local_taints[name] |= self.local_taints.get(name,
+                                                                     set())
+            return
+
+        if isinstance(target, ast.Index):
+            self.df_reads |= self.expr_reads(target.key)
+            if target.base in self.state_vars:
+                self.df_writes.add(target.base)
+                if stmt.op != "=":
+                    self.df_reads.add(target.base)
+                    self.raw_self.add(target.base)
+                elif target.base in rhs_reads:
+                    self.raw_self.add(target.base)
+
+
+def _analyze_body(name: str, body: ast.Stmt, state_vars: set
+                  ) -> FunctionDataflow:
+    walker = _FunctionWalker(state_vars)
+    walker.walk(body)
+    return FunctionDataflow(
+        name=name, reads=walker.df_reads, writes=walker.df_writes,
+        branch_reads=walker.branch_reads, raw_self_deps=walker.raw_self,
+        calls=walker.calls)
+
+
+def analyze_contract(contract: ast.ContractDef) -> ContractDataflow:
+    """Run the data-flow analysis on every function of ``contract``."""
+    state_vars = {v.name for v in contract.state_vars}
+    result = ContractDataflow(contract=contract)
+
+    modifier_flows: dict[str, FunctionDataflow] = {}
+    for mod in contract.modifiers:
+        modifier_flows[mod.name] = _analyze_body(mod.name, mod.body,
+                                                 state_vars)
+
+    for fn in contract.functions:
+        df = _analyze_body(fn.name, fn.body, state_vars)
+        for mod_name in fn.modifiers:
+            mod_df = modifier_flows.get(mod_name)
+            if mod_df is None:
+                continue
+            df.reads |= mod_df.reads
+            df.writes |= mod_df.writes
+            df.branch_reads |= mod_df.branch_reads
+            df.raw_self_deps |= mod_df.raw_self_deps
+        result.functions[fn.name] = df
+
+    # Propagate effects through internal calls to a fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        for df in result.functions.values():
+            for callee in list(df.calls):
+                callee_df = result.functions.get(callee)
+                if callee_df is None:
+                    continue
+                before = (len(df.reads), len(df.writes),
+                          len(df.branch_reads), len(df.raw_self_deps))
+                df.reads |= callee_df.reads
+                df.writes |= callee_df.writes
+                df.branch_reads |= callee_df.branch_reads
+                df.raw_self_deps |= callee_df.raw_self_deps
+                after = (len(df.reads), len(df.writes),
+                         len(df.branch_reads), len(df.raw_self_deps))
+                if before != after:
+                    changed = True
+    return result

@@ -1,0 +1,61 @@
+"""EVM bytecode disassembler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evm import opcodes
+from repro.evm.opcodes import Op
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    pc: int
+    opcode: int
+    operand: int | None = None  # PUSH immediate
+
+    @property
+    def name(self) -> str:
+        return opcodes.mnemonic(self.opcode)
+
+    @property
+    def size(self) -> int:
+        if opcodes.is_push(self.opcode):
+            return 1 + opcodes.push_width(self.opcode)
+        return 1
+
+    def __str__(self) -> str:
+        if self.operand is not None:
+            return f"{self.pc:#06x}: {self.name} {self.operand:#x}"
+        return f"{self.pc:#06x}: {self.name}"
+
+
+def disassemble(code: bytes) -> list[Instruction]:
+    """Decode ``code`` into an instruction list (PUSH data skipped over)."""
+    out: list[Instruction] = []
+    i = 0
+    n = len(code)
+    while i < n:
+        op = code[i]
+        if opcodes.is_push(op):
+            width = opcodes.push_width(op)
+            imm = code[i + 1: i + 1 + width]
+            out.append(Instruction(pc=i, opcode=op,
+                                   operand=int.from_bytes(imm, "big")))
+            i += 1 + width
+        else:
+            out.append(Instruction(pc=i, opcode=op))
+            i += 1
+    return out
+
+
+def jumpi_pcs(code: bytes) -> list[int]:
+    """Program counters of every JUMPI in ``code``."""
+    return [ins.pc for ins in disassemble(code) if ins.opcode == Op.JUMPI]
+
+
+def format_disassembly(code: bytes) -> str:
+    """Human-readable listing, one instruction per line."""
+    return "\n".join(str(ins) for ins in disassemble(code))

@@ -1,0 +1,31 @@
+"""Baseline tools: fuzzer presets and static-analyzer behavioural models.
+
+Fuzzer baselines (sFuzz, ConFuzzius, IR-Fuzz, Smartian) are configurations
+of the shared campaign loop — see :mod:`repro.core.config`.  Static
+analyzers (Oyente, Mythril, Osiris, Securify, Slither) are simplified but
+*behavioural* reimplementations: each runs a real analysis (depth-limited
+path exploration over the bytecode CFG, or AST pattern matching) with the
+capability matrix of Table I and the documented failure modes of §V-C
+(Oyente/Osiris solc-version errors, Mythril timeouts on large contracts,
+Slither's narrow patterns, Securify's two-class scope).
+"""
+
+from repro.baselines.static.common import StaticAnalysisResult, StaticAnalyzer
+from repro.baselines.static.oyente import Oyente
+from repro.baselines.static.mythril import Mythril
+from repro.baselines.static.osiris import Osiris
+from repro.baselines.static.securify import Securify
+from repro.baselines.static.slither import Slither
+
+STATIC_ANALYZERS = (Oyente, Mythril, Osiris, Securify, Slither)
+
+__all__ = [
+    "StaticAnalysisResult",
+    "StaticAnalyzer",
+    "Oyente",
+    "Mythril",
+    "Osiris",
+    "Securify",
+    "Slither",
+    "STATIC_ANALYZERS",
+]

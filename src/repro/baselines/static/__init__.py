@@ -1,0 +1,18 @@
+"""Static-analyzer behavioural models (see package docstring one level up)."""
+
+from repro.baselines.static.common import StaticAnalysisResult, StaticAnalyzer
+from repro.baselines.static.oyente import Oyente
+from repro.baselines.static.mythril import Mythril
+from repro.baselines.static.osiris import Osiris
+from repro.baselines.static.securify import Securify
+from repro.baselines.static.slither import Slither
+
+__all__ = [
+    "StaticAnalysisResult",
+    "StaticAnalyzer",
+    "Oyente",
+    "Mythril",
+    "Osiris",
+    "Securify",
+    "Slither",
+]

@@ -1,0 +1,66 @@
+"""Mythril behavioural model.
+
+The broadest static tool (Table I: everything except EF).  Deeper path
+exploration than Oyente — and exactly because of that, it *times out* on
+contracts whose CFG produces too many paths (the paper reports 72 timeout
+cases, concentrated in large contracts).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.static.common import (
+    StaticAnalysisResult,
+    StaticAnalyzer,
+    call_forwards_gas,
+    contains_in_order,
+)
+from repro.evm.opcodes import Op
+from repro.oracles.base import BugClass
+
+
+class Mythril(StaticAnalyzer):
+    name = "Mythril"
+    supported = frozenset({
+        BugClass.BD, BugClass.UD, BugClass.IO, BugClass.RE, BugClass.US,
+        BugClass.SE, BugClass.TO, BugClass.UE,
+    })
+    path_limit = 192     # deeper than Oyente, but path explosion → timeout
+    depth_limit = 4096
+    # symbolic work budget: constraint solving makes Mythril spend minutes
+    # per path, so contracts above a modest total path length time out —
+    # the paper reports 72 timeouts on D2
+    instruction_budget = 320
+
+    def _analyze(self, artifact, result: StaticAnalysisResult) -> None:
+        for path in self.explore_paths(artifact.runtime_code, result):
+            ops = [ins.opcode for ins in path]
+            if (contains_in_order(path, Op.TIMESTAMP, Op.JUMPI)
+                    or contains_in_order(path, Op.NUMBER, Op.JUMPI)):
+                result.findings.add(BugClass.BD)
+            if Op.DELEGATECALL in ops and not self._caller_guarded(path):
+                result.findings.add(BugClass.UD)
+            if contains_in_order(path, Op.CALLDATALOAD, Op.ADD) \
+                    or contains_in_order(path, Op.CALLDATALOAD, Op.SUB):
+                result.findings.add(BugClass.IO)
+            if Op.SELFDESTRUCT in ops and not self._caller_guarded(path):
+                result.findings.add(BugClass.US)
+            if contains_in_order(path, Op.BALANCE, Op.EQ):
+                result.findings.add(BugClass.SE)
+            if Op.ORIGIN in ops and (Op.EQ in ops or Op.JUMPI in ops):
+                result.findings.add(BugClass.TO)
+            for index, ins in enumerate(path):
+                if ins.opcode != Op.CALL:
+                    continue
+                if call_forwards_gas(path, index) and any(
+                        later.opcode == Op.SSTORE
+                        for later in path[index + 1:]):
+                    result.findings.add(BugClass.RE)
+                # unchecked call: success flag immediately discarded
+                if index + 1 < len(path) and \
+                        path[index + 1].opcode == Op.POP:
+                    result.findings.add(BugClass.UE)
+
+    @staticmethod
+    def _caller_guarded(path) -> bool:
+        """CALLER feeding an EQ before the dangerous op — modifier shape."""
+        return contains_in_order(path, Op.CALLER, Op.EQ)

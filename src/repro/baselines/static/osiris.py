@@ -1,0 +1,66 @@
+"""Osiris behavioural model.
+
+The Oyente derivative specialized for integer bugs (Table I: BD / IO / RE).
+Its IO check adds a taint discipline Oyente lacks: arithmetic only counts
+when a calldata word reaches it *without* an intervening comparison guard
+on the same path — so SafeMath-style ``require(a + b >= a)`` patterns and
+bounded loop arithmetic stop producing alarms, at the cost of missing some
+multiplication overflows (its documented weakness).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.static.common import (
+    StaticAnalysisResult,
+    StaticAnalyzer,
+    call_forwards_gas,
+    contains_in_order,
+)
+from repro.evm.opcodes import Op
+from repro.oracles.base import BugClass
+
+_ARITH = (Op.ADD, Op.SUB)
+
+
+class Osiris(StaticAnalyzer):
+    name = "Osiris"
+    supported = frozenset({BugClass.BD, BugClass.IO, BugClass.RE})
+    path_limit = 128
+    depth_limit = 2048
+
+    ERROR_INSTRUCTION_LIMIT = 6000
+
+    def _analyze(self, artifact, result: StaticAnalysisResult) -> None:
+        if artifact.instruction_count > self.ERROR_INSTRUCTION_LIMIT:
+            result.error = True
+            return
+        for path in self.explore_paths(artifact.runtime_code, result):
+            if (contains_in_order(path, Op.TIMESTAMP, Op.JUMPI)
+                    or contains_in_order(path, Op.NUMBER, Op.JUMPI)):
+                result.findings.add(BugClass.BD)
+            self._check_io(path, result)
+            for index, ins in enumerate(path):
+                if ins.opcode == Op.CALL and call_forwards_gas(path, index):
+                    if any(later.opcode == Op.SSTORE
+                           for later in path[index + 1:]):
+                        result.findings.add(BugClass.RE)
+
+    def _check_io(self, path, result: StaticAnalysisResult) -> None:
+        # Pass 1: is there a relational guard anywhere after calldata enters
+        # the path?  (Osiris' constraint pruning treats the arithmetic as
+        # range-checked whether the comparison precedes or — SafeMath-style
+        # — follows it.  The dispatcher's calldatasize LT precedes any
+        # CALLDATALOAD and is therefore ignored.)
+        saw_calldata = False
+        guarded = False
+        arith_present = False
+        for ins in path:
+            if ins.opcode == Op.CALLDATALOAD:
+                saw_calldata = True
+            elif ins.opcode in (Op.LT, Op.GT, Op.SLT, Op.SGT) \
+                    and saw_calldata:
+                guarded = True
+            elif ins.opcode in _ARITH and saw_calldata:
+                arith_present = True
+        if arith_present and not guarded:
+            result.findings.add(BugClass.IO)

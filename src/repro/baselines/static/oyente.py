@@ -1,0 +1,59 @@
+"""Oyente behavioural model.
+
+Supports BD / IO / RE (Table I).  A shallow symbolic-execution stand-in:
+depth-limited CFG path exploration with over-approximate predicates — any
+block-state read that later reaches a JUMPI counts as BD, any unguarded
+arithmetic counts as IO (no value reasoning → false positives on guarded
+arithmetic), a gas-forwarding CALL followed by an SSTORE counts as RE.
+Oyente's documented solc-version fragility appears as an error on contracts
+that exceed its legacy feature envelope.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.static.common import (
+    StaticAnalysisResult,
+    StaticAnalyzer,
+    call_forwards_gas,
+    contains_in_order,
+)
+from repro.evm.opcodes import Op
+from repro.oracles.base import BugClass
+
+
+class Oyente(StaticAnalyzer):
+    name = "Oyente"
+    supported = frozenset({BugClass.BD, BugClass.IO, BugClass.RE})
+    path_limit = 96    # shallow exploration: misses deeply branching code
+    depth_limit = 1024
+
+    #: contracts bigger than this hit the legacy toolchain's limits (error)
+    ERROR_INSTRUCTION_LIMIT = 6000
+
+    #: Oyente samples a bounded number of symbolic paths per contract; the
+    #: rest of the state space is silently skipped (its main FN source)
+    SAMPLE_LIMIT = 7
+
+    def _analyze(self, artifact, result: StaticAnalysisResult) -> None:
+        if artifact.instruction_count > self.ERROR_INSTRUCTION_LIMIT:
+            result.error = True
+            return
+        sampled = 0
+        for path in self.explore_paths(artifact.runtime_code, result):
+            sampled += 1
+            if sampled > self.SAMPLE_LIMIT:
+                return
+            if (contains_in_order(path, Op.TIMESTAMP, Op.JUMPI)
+                    or contains_in_order(path, Op.NUMBER, Op.JUMPI)):
+                result.findings.add(BugClass.BD)
+            # Over-approximate IO: arithmetic on values derived from
+            # calldata, with no value reasoning at all.
+            if contains_in_order(path, Op.CALLDATALOAD, Op.ADD) \
+                    or contains_in_order(path, Op.CALLDATALOAD, Op.SUB) \
+                    or contains_in_order(path, Op.CALLDATALOAD, Op.MUL):
+                result.findings.add(BugClass.IO)
+            for index, ins in enumerate(path):
+                if ins.opcode == Op.CALL and call_forwards_gas(path, index):
+                    if any(later.opcode == Op.SSTORE
+                           for later in path[index + 1:]):
+                        result.findings.add(BugClass.RE)

@@ -1,0 +1,41 @@
+"""Securify behavioural model.
+
+Datalog-pattern analysis over bytecode; per Table I it covers RE and UE
+only.  Patterns are *compliance/violation* style: a gas-forwarding CALL
+with a later storage write violates the no-write-after-call property (RE);
+a CALL whose result is immediately dropped violates handled-exception (UE).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.static.common import (
+    StaticAnalysisResult,
+    StaticAnalyzer,
+    call_forwards_gas,
+)
+from repro.evm.opcodes import Op
+from repro.oracles.base import BugClass
+
+
+class Securify(StaticAnalyzer):
+    name = "Securify"
+    supported = frozenset({BugClass.RE, BugClass.UE})
+    path_limit = 160
+    depth_limit = 4096
+
+    def _analyze(self, artifact, result: StaticAnalysisResult) -> None:
+        for path in self.explore_paths(artifact.runtime_code, result):
+            for index, ins in enumerate(path):
+                if ins.opcode != Op.CALL:
+                    continue
+                if call_forwards_gas(path, index) and any(
+                        later.opcode == Op.SSTORE
+                        for later in path[index + 1:]):
+                    result.findings.add(BugClass.RE)
+                # handled-exception pattern: only `send` (2300-gas) calls —
+                # gas-forwarding low-level calls are out of the property's
+                # scope, a documented source of Securify false negatives
+                if index + 1 < len(path) \
+                        and path[index + 1].opcode == Op.POP \
+                        and not call_forwards_gas(path, index):
+                    result.findings.add(BugClass.UE)

@@ -1,0 +1,142 @@
+"""Slither behavioural model.
+
+AST-level detectors (Table I: everything except IO).  Patterns are narrow
+and structural, exactly like Slither's real detectors: they match the
+canonical shape of each bug and miss semantically equivalent variants —
+which is where its Table III false negatives come from — but they see the
+whole AST, so reachability gates never hide a bug from them.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.static.common import StaticAnalysisResult, StaticAnalyzer
+from repro.lang import ast_nodes as ast
+from repro.oracles.base import BugClass
+
+
+class Slither(StaticAnalyzer):
+    name = "Slither"
+    supported = frozenset({
+        BugClass.BD, BugClass.UD, BugClass.EF, BugClass.RE, BugClass.US,
+        BugClass.SE, BugClass.TO, BugClass.UE,
+    })
+
+    def _analyze(self, artifact, result: StaticAnalysisResult) -> None:
+        contract = artifact.contract_ast
+        for fn in contract.functions:
+            self._check_function(contract, fn, result)
+        self._check_ether_freeze(contract, result)
+
+    # -- per-function patterns ---------------------------------------------------
+
+    def _check_function(self, contract, fn, result) -> None:
+        guarded = bool(fn.modifiers)
+        statements = list(self.walk_statements(fn.body))
+
+        # timestamp detector: Slither's `timestamp` check flags
+        # block.timestamp comparisons used in *require-style* guards; plain
+        # if-branching on block state slips through (its Table III FNs)
+        for stmt in statements:
+            if isinstance(stmt, (ast.Require, ast.AssertStmt)):
+                for expr in self.walk_expressions(stmt.cond):
+                    if isinstance(expr, ast.EnvRead) and \
+                            expr.what == "block.timestamp":
+                        result.findings.add(BugClass.BD)
+        for cond in self.conditions_of(fn):
+            for expr in self.walk_expressions(cond):
+                if isinstance(expr, ast.EnvRead) and \
+                        expr.what == "tx.origin":
+                    result.findings.add(BugClass.TO)
+
+        param_names = {p.name for p in fn.params}
+        # controlled-delegatecall and suicidal detectors: both only match
+        # the dangerous statement at the *top level* of the function body —
+        # conditionally nested occurrences are assumed guarded (a narrow,
+        # FN-prone approximation that mirrors the real detectors' precision)
+        for stmt in fn.body.statements:
+            for expr in self.walk_expressions(stmt) \
+                    if not isinstance(stmt, (ast.If, ast.While, ast.For)) \
+                    else ():
+                if isinstance(expr, ast.Delegatecall) and not guarded:
+                    target = expr.target
+                    if isinstance(target, ast.Ident) and \
+                            target.name in param_names:
+                        result.findings.add(BugClass.UD)
+            if isinstance(stmt, ast.SelfDestructStmt) and not guarded \
+                    and not self._has_sender_require(statements):
+                result.findings.add(BugClass.US)
+
+        # incorrect-equality: strict balance comparison, flagged only in
+        # non-payable functions (payable flows are assumed to manage the
+        # balance deliberately)
+        if not fn.payable:
+            for stmt in statements:
+                for expr in self.walk_expressions(stmt):
+                    if isinstance(expr, ast.Binary) and expr.op == "==":
+                        if self._reads_balance(expr.left) or \
+                                self._reads_balance(expr.right):
+                            result.findings.add(BugClass.SE)
+
+        for stmt in statements:
+            # unchecked-send: only plain `send` statements; low-level
+            # call.value is reported by a separate informational detector
+            # the comparison methodology does not count
+            if isinstance(stmt, ast.ExprStmt) and isinstance(
+                    stmt.expr, ast.Send):
+                result.findings.add(BugClass.UE)
+
+        # narrow RE pattern: call.value followed by a later write to state
+        # in the same function body (statement order approximation)
+        self._check_reentrancy(contract, statements, result)
+
+    def _check_reentrancy(self, contract, statements, result) -> None:
+        state_names = {v.name for v in contract.state_vars}
+        seen_call_value = False
+        for stmt in statements:
+            has_call_value = any(
+                isinstance(e, ast.CallValue)
+                for e in self.walk_expressions(stmt))
+            if has_call_value:
+                seen_call_value = True
+                continue
+            if seen_call_value and isinstance(stmt, ast.Assign):
+                target = stmt.target
+                name = target.name if isinstance(target, ast.Ident) else \
+                    getattr(target, "base", None)
+                if name in state_names:
+                    result.findings.add(BugClass.RE)
+
+    @staticmethod
+    def _reads_balance(expr) -> bool:
+        for sub in StaticAnalyzer.walk_expressions(expr):
+            if isinstance(sub, ast.BalanceOf):
+                return True
+            if isinstance(sub, ast.EnvRead) and sub.what == "this.balance":
+                return True
+        return False
+
+    @staticmethod
+    def _has_sender_require(statements) -> bool:
+        for stmt in statements:
+            if isinstance(stmt, ast.Require):
+                for expr in StaticAnalyzer.walk_expressions(stmt.cond):
+                    if isinstance(expr, ast.EnvRead) and \
+                            expr.what == "msg.sender":
+                        return True
+        return False
+
+    # -- whole-contract pattern ------------------------------------------------------
+
+    def _check_ether_freeze(self, contract, result) -> None:
+        has_payable = any(fn.payable for fn in contract.functions)
+        if not has_payable:
+            return
+        for fn in contract.functions:
+            for stmt in self.walk_statements(fn.body):
+                if isinstance(stmt, (ast.Transfer, ast.SelfDestructStmt)):
+                    return
+                for expr in self.walk_expressions(stmt):
+                    if isinstance(expr, (ast.Send, ast.CallValue,
+                                         ast.Delegatecall)):
+                        return
+        result.findings.add(BugClass.EF)

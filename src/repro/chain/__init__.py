@@ -1,0 +1,27 @@
+"""Blockchain state substrate: accounts, storage, transactions, agents.
+
+This package provides the persistent-state environment the paper's fuzzer
+operates in: a world state with journaled rollback (so reverts behave like
+Ethereum), a block context that advances per transaction, and programmable
+*agents* — externally-owned-account stand-ins whose fallback behaviour can
+re-enter the caller, which is how the reentrancy oracle is exercised.
+"""
+
+from repro.chain.state import Account, WorldState
+from repro.chain.blockchain import BlockContext, Chain, DeployedContract
+from repro.chain.transactions import Transaction, TransactionReceipt
+from repro.chain.agents import Agent, BenignAgent, ReentrantAgent, RejectingAgent
+
+__all__ = [
+    "Account",
+    "WorldState",
+    "BlockContext",
+    "Chain",
+    "DeployedContract",
+    "Transaction",
+    "TransactionReceipt",
+    "Agent",
+    "BenignAgent",
+    "ReentrantAgent",
+    "RejectingAgent",
+]

@@ -1,0 +1,92 @@
+"""Programmable externally-owned-account agents.
+
+Real Ethereum attackers are contracts whose fallback functions run when they
+receive ether.  The fuzzer models them as *agents*: Python objects installed
+behind an address.  When the EVM CALLs the address, the agent's ``on_call``
+runs with access to the machine, so it can, for example, re-enter the caller
+— which is exactly the behaviour the reentrancy oracle must observe.
+"""
+
+from __future__ import annotations
+
+from repro.evm.machine import ExecutionResult, Message
+
+
+class Agent:
+    """Base agent: accepts any call (like an EOA accepting a transfer)."""
+
+    def on_call(self, machine, msg: Message, depth: int) -> ExecutionResult:
+        """Handle an incoming message; default accepts and returns nothing."""
+        return ExecutionResult(True, gas_left=msg.gas)
+
+
+class BenignAgent(Agent):
+    """Accepts transfers and does nothing — a plain user wallet."""
+
+
+class RejectingAgent(Agent):
+    """Reverts on any incoming call — models a contract whose fallback throws.
+
+    Used to exercise unhandled-exception paths: a ``send``/``call`` to this
+    agent fails, and the oracle checks whether the caller inspected the flag.
+    """
+
+    def on_call(self, machine, msg: Message, depth: int) -> ExecutionResult:
+        return ExecutionResult(False, error="revert: rejecting fallback",
+                               gas_left=0)
+
+
+class ReentrantAgent(Agent):
+    """Re-enters the calling contract when it receives ether with enough gas.
+
+    ``calldata`` is the encoded call the agent replays against its caller
+    (typically the withdraw-style function that sent the ether).  Reentry
+    needs more gas than the 2300 stipend, mirroring the real constraint that
+    ``transfer``/``send`` cannot be re-entered but ``call.value`` can.
+    """
+
+    #: minimum forwarded gas for the fallback to afford a reentrant call
+    GAS_NEEDED = 20_000
+
+    def __init__(self, address: int, max_reentries: int = 2) -> None:
+        self.address = address
+        self.max_reentries = max_reentries
+        self.calldata: bytes = b""
+        self.reentry_count = 0
+
+    def arm(self, calldata: bytes) -> None:
+        """Set the payload replayed on reentry and reset the counter."""
+        self.calldata = calldata
+        self.reentry_count = 0
+
+    def on_call(self, machine, msg: Message, depth: int) -> ExecutionResult:
+        can_reenter = (
+            msg.value > 0
+            and msg.gas >= self.GAS_NEEDED
+            and self.calldata
+            and self.reentry_count < self.max_reentries
+        )
+        if not can_reenter:
+            return ExecutionResult(True, gas_left=msg.gas)
+        self.reentry_count += 1
+        inner = Message(
+            address=msg.caller,
+            caller=self.address,
+            origin=msg.origin,
+            value=0,
+            data=self.calldata,
+            gas=msg.gas - 5_000,
+            code=machine.world.get_code(msg.caller),
+        )
+        # Record the callback in the trace: this is the reentrant call the
+        # RE oracle looks for (an on-chain attacker contract's CALL opcode
+        # would be recorded by the machine; the agent stands in for it).
+        from repro.evm.trace import CallEvent
+        machine.trace.calls.append(CallEvent(
+            pc=0, address=self.address, depth=depth, kind="call",
+            target=msg.caller, value=0, gas=inner.gas, reentrant=True,
+            index=len(machine.trace.calls)))
+        result = machine._call(inner, depth + 1)
+        # The fallback itself succeeds even if the reentrant call reverted —
+        # a real attacker contract would swallow the failure.
+        return ExecutionResult(True, gas_left=msg.gas // 2)

@@ -1,0 +1,195 @@
+"""World state: accounts, balances, storage, and journaled rollback.
+
+The journal is an undo log: every mutation appends its inverse.  A snapshot
+is just a journal length; reverting truncates back to it.  This gives the
+machine cheap nested-call rollback without copying storage dictionaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.evm.errors import InsufficientBalance
+from repro.evm.trace import EMPTY_SHADOW, Shadow
+
+
+@dataclass
+class Account:
+    """One account: contract or externally-owned."""
+
+    address: int
+    balance: int = 0
+    code: bytes = b""
+    storage: dict = field(default_factory=dict)
+    storage_shadow: dict = field(default_factory=dict)
+    nonce: int = 0
+    destroyed: bool = False
+
+
+class WorldState:
+    """Mutable chain state with snapshot/revert semantics."""
+
+    def __init__(self) -> None:
+        self._accounts: dict[int, Account] = {}
+        self._agents: dict[int, object] = {}
+        self._journal: list[tuple] = []
+
+    # -- account management ---------------------------------------------------
+
+    def account(self, address: int) -> Account:
+        """Fetch-or-create the account at ``address``."""
+        acct = self._accounts.get(address)
+        if acct is None:
+            acct = Account(address=address)
+            self._accounts[address] = acct
+            self._journal.append(("create", address))
+        return acct
+
+    def exists(self, address: int) -> bool:
+        """True if the account has been touched before."""
+        return address in self._accounts
+
+    def accounts(self) -> list[Account]:
+        """All known accounts (stable order by address)."""
+        return [self._accounts[a] for a in sorted(self._accounts)]
+
+    # -- agents -----------------------------------------------------------------
+
+    def register_agent(self, address: int, agent: object) -> None:
+        """Install a programmable agent behind ``address`` (see chain.agents)."""
+        self.account(address)
+        self._agents[address] = agent
+
+    def get_agent(self, address: int):
+        """The agent registered at ``address``, or None."""
+        return self._agents.get(address)
+
+    # -- balances ----------------------------------------------------------------
+
+    def get_balance(self, address: int) -> int:
+        acct = self._accounts.get(address)
+        return acct.balance if acct else 0
+
+    def set_balance(self, address: int, value: int) -> None:
+        acct = self.account(address)
+        self._journal.append(("balance", address, acct.balance))
+        acct.balance = value
+
+    def add_balance(self, address: int, amount: int) -> None:
+        self.set_balance(address, self.get_balance(address) + amount)
+
+    def transfer(self, sender: int, recipient: int, amount: int) -> None:
+        """Move ``amount`` wei; raises :class:`InsufficientBalance` if short."""
+        if amount == 0:
+            return
+        if self.get_balance(sender) < amount:
+            raise InsufficientBalance(
+                f"account {sender:#x} holds {self.get_balance(sender)}, "
+                f"needs {amount}")
+        self.set_balance(sender, self.get_balance(sender) - amount)
+        self.set_balance(recipient, self.get_balance(recipient) + amount)
+
+    # -- code ---------------------------------------------------------------------
+
+    def get_code(self, address: int) -> bytes:
+        acct = self._accounts.get(address)
+        if acct is None or acct.destroyed:
+            return b""
+        return acct.code
+
+    def set_code(self, address: int, code: bytes) -> None:
+        acct = self.account(address)
+        self._journal.append(("code", address, acct.code))
+        acct.code = code
+
+    # -- storage --------------------------------------------------------------------
+
+    def get_storage(self, address: int, slot: int) -> tuple[int, Shadow]:
+        acct = self._accounts.get(address)
+        if acct is None:
+            return 0, EMPTY_SHADOW
+        return (acct.storage.get(slot, 0),
+                acct.storage_shadow.get(slot, EMPTY_SHADOW))
+
+    def set_storage(self, address: int, slot: int, value: int,
+                    shadow: Shadow = EMPTY_SHADOW) -> None:
+        acct = self.account(address)
+        old_val = acct.storage.get(slot, 0)
+        old_shadow = acct.storage_shadow.get(slot, EMPTY_SHADOW)
+        self._journal.append(("storage", address, slot, old_val, old_shadow))
+        acct.storage[slot] = value
+        if shadow.taints:
+            acct.storage_shadow[slot] = shadow
+        else:
+            acct.storage_shadow.pop(slot, None)
+
+    # -- destruction -----------------------------------------------------------------
+
+    def mark_destroyed(self, address: int) -> None:
+        acct = self.account(address)
+        self._journal.append(("destroyed", address, acct.destroyed))
+        acct.destroyed = True
+
+    def is_destroyed(self, address: int) -> bool:
+        acct = self._accounts.get(address)
+        return bool(acct and acct.destroyed)
+
+    # -- snapshot / revert ---------------------------------------------------------------
+
+    def snapshot(self) -> int:
+        """Return a snapshot token (journal position)."""
+        return len(self._journal)
+
+    def revert_to(self, token: int) -> None:
+        """Undo every mutation made since ``token``."""
+        while len(self._journal) > token:
+            entry = self._journal.pop()
+            kind = entry[0]
+            if kind == "balance":
+                _, address, old = entry
+                self._accounts[address].balance = old
+            elif kind == "storage":
+                _, address, slot, old_val, old_shadow = entry
+                acct = self._accounts[address]
+                acct.storage[slot] = old_val
+                if old_shadow.taints:
+                    acct.storage_shadow[slot] = old_shadow
+                else:
+                    acct.storage_shadow.pop(slot, None)
+            elif kind == "code":
+                _, address, old = entry
+                self._accounts[address].code = old
+            elif kind == "destroyed":
+                _, address, old = entry
+                self._accounts[address].destroyed = old
+            elif kind == "create":
+                _, address = entry
+                self._accounts.pop(address, None)
+                self._agents.pop(address, None)
+
+    def commit(self, token: int) -> None:
+        """Accept mutations since ``token`` (journal retained for outer frames)."""
+        # Nothing to do: the undo log stays so an *enclosing* frame can still
+        # revert past this point.  The outermost committer may clear it.
+
+    def clear_journal(self) -> None:
+        """Drop the undo log (call between transactions)."""
+        self._journal.clear()
+
+    # -- deep snapshot for campaign-level save/restore ------------------------------------
+
+    def fork(self) -> "WorldState":
+        """A deep, independent copy (used to reset state between fuzz runs)."""
+        clone = WorldState()
+        for address, acct in self._accounts.items():
+            clone._accounts[address] = Account(
+                address=address,
+                balance=acct.balance,
+                code=acct.code,
+                storage=dict(acct.storage),
+                storage_shadow=dict(acct.storage_shadow),
+                nonce=acct.nonce,
+                destroyed=acct.destroyed,
+            )
+        clone._agents = dict(self._agents)
+        return clone

@@ -1,0 +1,32 @@
+"""Transaction and receipt records used by the chain and the fuzzer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.evm.trace import ExecutionTrace
+
+
+@dataclass
+class Transaction:
+    """One message-call transaction as the fuzzer submits it."""
+
+    sender: int
+    to: int
+    value: int = 0
+    data: bytes = b""
+    gas: int = 10_000_000
+    #: set by the fuzzer for bookkeeping: which ABI function this encodes.
+    function: str | None = None
+
+
+@dataclass
+class TransactionReceipt:
+    """Outcome of applying a transaction."""
+
+    tx: Transaction
+    success: bool
+    returndata: bytes = b""
+    error: str | None = None
+    trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+    block_number: int = 0

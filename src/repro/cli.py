@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``fuzz FILE``      run a fuzzing campaign on a MiniSol source file
+``compile FILE``   compile and print bytecode size, ABI, storage layout
+``disasm FILE``    disassemble the runtime bytecode
+``analyze FILE``   print the sequence-aware data-flow analysis (§IV-A)
+``scan FILE``      run the five static-analyzer models
+``corpus``         generate and summarize the benchmark corpora
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.dataflow import analyze_contract
+from repro.analysis.disassembler import format_disassembly
+from repro.baselines import STATIC_ANALYZERS
+from repro.compiler import compile_source
+from repro.core import (
+    Fuzzer,
+    confuzzius_config,
+    irfuzz_config,
+    mufuzz_config,
+    sfuzz_config,
+    smartian_config,
+)
+from repro.reporting import format_table
+
+_PRESETS = {
+    "mufuzz": mufuzz_config,
+    "sfuzz": sfuzz_config,
+    "confuzzius": confuzzius_config,
+    "irfuzz": irfuzz_config,
+    "smartian": smartian_config,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MuFuzz reproduction: smart-contract fuzzing toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fuzz = sub.add_parser("fuzz", help="fuzz a MiniSol contract")
+    fuzz.add_argument("file", help="MiniSol source file")
+    fuzz.add_argument("--contract", default=None,
+                      help="contract name (default: first in file)")
+    fuzz.add_argument("--fuzzer", choices=sorted(_PRESETS), default="mufuzz")
+    fuzz.add_argument("--iterations", type=int, default=300)
+    fuzz.add_argument("--seed", type=int, default=1)
+
+    for name, help_text in (
+            ("compile", "compile and show artifact summary"),
+            ("disasm", "disassemble runtime bytecode"),
+            ("analyze", "show the data-flow / sequence analysis"),
+            ("scan", "run the static-analyzer models")):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("file")
+        cmd.add_argument("--contract", default=None)
+
+    corpus = sub.add_parser("corpus", help="generate benchmark corpora")
+    corpus.add_argument("--dataset", choices=("d1", "d2", "d3"),
+                        default="d2")
+    corpus.add_argument("--count", type=int, default=10)
+    corpus.add_argument("--show-source", action="store_true")
+    return parser
+
+
+def _load(args) -> object:
+    with open(args.file) as handle:
+        source = handle.read()
+    return compile_source(source, args.contract)
+
+
+def cmd_fuzz(args) -> int:
+    artifact = _load(args)
+    config = _PRESETS[args.fuzzer](iterations=args.iterations,
+                                   rng_seed=args.seed)
+    fuzzer = Fuzzer(artifact, config)
+    result = fuzzer.run()
+    print(f"{result.fuzzer} on {result.contract}: "
+          f"{result.coverage:.1%} branch coverage, "
+          f"{result.iterations} executions, "
+          f"{result.transactions} transactions, "
+          f"{result.wall_time:.2f}s")
+    if result.findings:
+        rows = [[f.bug_class.value, f.line, f.description]
+                for f in result.findings]
+        print(format_table(["class", "line", "description"], rows,
+                           title="findings"))
+    else:
+        print("no findings")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    artifact = _load(args)
+    print(f"contract {artifact.name}")
+    print(f"  runtime: {len(artifact.runtime_code)} bytes, "
+          f"{artifact.instruction_count} instructions, "
+          f"{len(artifact.branch_info)} branches")
+    print(f"  init   : {len(artifact.init_code)} bytes")
+    print("  storage layout:")
+    for name, slot in sorted(artifact.layout.slots.items(),
+                             key=lambda kv: kv[1]):
+        print(f"    slot {slot}: {name} "
+              f"({artifact.layout.types[name]})")
+    print("  ABI:")
+    for fn in artifact.abi.functions:
+        payable = " payable" if fn.payable else ""
+        print(f"    {fn.signature}{payable} "
+              f"selector={fn.selector:#010x}")
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    artifact = _load(args)
+    print(format_disassembly(artifact.runtime_code))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    artifact = _load(args)
+    dataflow = analyze_contract(artifact.contract_ast)
+    rows = []
+    for fn_name, df in dataflow.functions.items():
+        rows.append([fn_name,
+                     ",".join(sorted(df.reads)) or "-",
+                     ",".join(sorted(df.writes)) or "-",
+                     ",".join(sorted(df.branch_reads)) or "-",
+                     ",".join(sorted(df.raw_self_deps)) or "-"])
+    print(format_table(
+        ["function", "reads", "writes", "branch reads", "RAW self-deps"],
+        rows, title=f"data-flow analysis of {artifact.name}"))
+    print()
+    print("write→read edges:", dataflow.write_read_edges())
+    print("repeat candidates:", sorted(dataflow.repeat_candidates()))
+    return 0
+
+
+def cmd_scan(args) -> int:
+    artifact = _load(args)
+    rows = []
+    for tool_cls in STATIC_ANALYZERS:
+        tool = tool_cls()
+        result = tool.analyze(artifact)
+        if result.timeout:
+            verdict = "TIMEOUT"
+        elif result.error:
+            verdict = "ERROR"
+        else:
+            verdict = ",".join(sorted(bc.value for bc in result.findings)) \
+                or "clean"
+        rows.append([tool.name, verdict, result.paths_explored])
+    print(format_table(["tool", "verdict", "paths"], rows,
+                       title=f"static scan of {artifact.name}"))
+    return 0
+
+
+def cmd_corpus(args) -> int:
+    from repro.corpus import generate_d1, generate_d2, generate_d3
+    if args.dataset == "d1":
+        corpus = generate_d1(n_small=args.count, n_large=max(1,
+                                                             args.count // 4))
+    elif args.dataset == "d2":
+        corpus = generate_d2()[:args.count]
+    else:
+        corpus = generate_d3(count=args.count)
+    rows = []
+    for contract in corpus:
+        rows.append([
+            contract.name,
+            contract.size_class,
+            ",".join(sorted(bc.value for bc in contract.expected_bugs))
+            or "-",
+            contract.instruction_count,
+        ])
+        if args.show_source:
+            print(contract.source)
+            print()
+    print(format_table(["name", "size", "annotated bugs", "instructions"],
+                       rows, title=f"{args.dataset.upper()} sample"))
+    return 0
+
+
+_COMMANDS = {
+    "fuzz": cmd_fuzz,
+    "compile": cmd_compile,
+    "disasm": cmd_disasm,
+    "analyze": cmd_analyze,
+    "scan": cmd_scan,
+    "corpus": cmd_corpus,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

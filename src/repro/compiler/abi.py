@@ -1,0 +1,98 @@
+"""Application binary interface: selectors, call encoding, ABI descriptions.
+
+The wire format is deliberately word-oriented: calldata word 0 carries the
+4-byte function selector (keccak of the canonical signature, like Solidity),
+and each argument occupies one subsequent 32-byte word.  This keeps
+CALLDATALOAD-based decoding trivial while preserving the selector-dispatch
+shape that the coverage and sequence analyses expect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.evm.machine import keccak
+from repro.lang.types import Type
+
+
+@dataclass(frozen=True)
+class FunctionABI:
+    """ABI description of one externally callable function."""
+
+    name: str
+    inputs: tuple = ()  # tuple[Type, ...]
+    output: Type | None = None
+    payable: bool = False
+    mutability: str = ""  # '', 'view', 'pure'
+    selector: int = 0
+
+    @property
+    def signature(self) -> str:
+        args = ",".join(str(t) for t in self.inputs)
+        return f"{self.name}({args})"
+
+    @property
+    def mutates_state(self) -> bool:
+        return self.mutability not in ("view", "pure")
+
+
+@dataclass
+class ContractABI:
+    """ABI of a whole contract."""
+
+    name: str
+    functions: list = field(default_factory=list)
+    constructor_inputs: tuple = ()
+
+    def function(self, name: str) -> FunctionABI:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"no ABI function {name!r} in {self.name}")
+
+    def by_selector(self, selector: int) -> FunctionABI | None:
+        for fn in self.functions:
+            if fn.selector == selector:
+                return fn
+        return None
+
+
+def compute_selector(name: str, inputs) -> int:
+    """First four bytes of keccak(signature), as an integer."""
+    signature = f"{name}({','.join(str(t) for t in inputs)})"
+    return keccak(signature.encode()) >> (256 - 32)
+
+
+def make_function_abi(name: str, inputs, output: Type | None,
+                      payable: bool, mutability: str) -> FunctionABI:
+    """Build a :class:`FunctionABI` with its selector filled in."""
+    inputs = tuple(inputs)
+    return FunctionABI(
+        name=name, inputs=inputs, output=output, payable=payable,
+        mutability=mutability, selector=compute_selector(name, inputs))
+
+
+def encode_words(values) -> bytes:
+    """Pack integers into consecutive 32-byte big-endian words."""
+    out = bytearray()
+    for value in values:
+        out.extend((value % (1 << 256)).to_bytes(32, "big"))
+    return bytes(out)
+
+
+def encode_call(fn: FunctionABI, args) -> bytes:
+    """Encode a call to ``fn``: selector word followed by argument words."""
+    args = list(args)
+    if len(args) != len(fn.inputs):
+        raise ValueError(
+            f"{fn.signature} takes {len(fn.inputs)} args, got {len(args)}")
+    return encode_words([fn.selector] + args)
+
+
+def decode_words(data: bytes) -> list[int]:
+    """Split calldata/returndata back into integer words."""
+    out = []
+    for offset in range(0, len(data), 32):
+        word = data[offset:offset + 32]
+        out.append(int.from_bytes(word + b"\x00" * (32 - len(word)), "big"))
+    return out

@@ -1,0 +1,107 @@
+"""A tiny EVM assembler with labels, fixups, and a pc→line source map."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.evm.opcodes import Op
+
+
+@dataclass
+class _Fixup:
+    """A PUSH2 whose immediate is patched with a label address."""
+
+    offset: int  # byte offset of the 2-byte immediate
+    label: int
+
+
+class Assembler:
+    """Accumulates bytecode; label addresses are patched at assembly time."""
+
+    def __init__(self) -> None:
+        self.code = bytearray()
+        self._labels: dict[int, int] = {}
+        self._fixups: list[_Fixup] = []
+        self._next_label = 0
+        #: pc → source line, recorded for every instruction start
+        self.srcmap: dict[int, int] = {}
+        self._current_line = 0
+
+    # -- source mapping -------------------------------------------------------
+
+    def set_line(self, line: int) -> None:
+        """Attribute subsequently emitted instructions to ``line``."""
+        if line:
+            self._current_line = line
+
+    @property
+    def pc(self) -> int:
+        """Current bytecode offset."""
+        return len(self.code)
+
+    # -- emission ----------------------------------------------------------------
+
+    def emit(self, op: int) -> int:
+        """Emit a bare opcode; returns its pc."""
+        pc = len(self.code)
+        self.srcmap[pc] = self._current_line
+        self.code.append(op)
+        return pc
+
+    def push(self, value: int) -> int:
+        """Emit the narrowest PUSH for ``value``; returns its pc."""
+        if value < 0:
+            value %= 1 << 256
+        width = max(1, (value.bit_length() + 7) // 8)
+        if width > 32:
+            raise ValueError(f"push value too wide: {value:#x}")
+        pc = len(self.code)
+        self.srcmap[pc] = self._current_line
+        self.code.append(0x60 + width - 1)
+        self.code.extend(value.to_bytes(width, "big"))
+        return pc
+
+    # -- labels --------------------------------------------------------------------
+
+    def new_label(self) -> int:
+        """Allocate a fresh label id."""
+        label = self._next_label
+        self._next_label += 1
+        return label
+
+    def place(self, label: int) -> int:
+        """Bind ``label`` here and emit its JUMPDEST; returns the dest pc."""
+        pc = self.emit(Op.JUMPDEST)
+        self._labels[label] = pc
+        return pc
+
+    def push_label(self, label: int) -> None:
+        """Emit ``PUSH2 <label>`` to be patched at assembly."""
+        self.srcmap[len(self.code)] = self._current_line
+        self.code.append(0x61)  # PUSH2
+        self._fixups.append(_Fixup(offset=len(self.code), label=label))
+        self.code.extend(b"\x00\x00")
+
+    def jump_to(self, label: int) -> None:
+        """PUSH2 label; JUMP."""
+        self.push_label(label)
+        self.emit(Op.JUMP)
+
+    def jumpi_to(self, label: int) -> int:
+        """PUSH2 label; JUMPI — returns the pc of the JUMPI instruction."""
+        self.push_label(label)
+        return self.emit(Op.JUMPI)
+
+    # -- finalize --------------------------------------------------------------------
+
+    def assemble(self) -> bytes:
+        """Patch all fixups and return the final bytecode."""
+        for fixup in self._fixups:
+            try:
+                target = self._labels[fixup.label]
+            except KeyError:
+                raise ValueError(f"label {fixup.label} never placed") from None
+            if target > 0xFFFF:
+                raise ValueError("code too large for PUSH2 label addressing")
+            self.code[fixup.offset:fixup.offset + 2] = target.to_bytes(2, "big")
+        return bytes(self.code)

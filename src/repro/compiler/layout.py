@@ -1,0 +1,117 @@
+"""Storage-slot and memory-frame layout.
+
+Storage: scalar state variables take slots 0..n-1 in declaration order;
+mapping variables also own a slot, and element ``m[k]`` lives at
+``keccak(k ‖ slot)`` — the Solidity scheme, which guarantees no aliasing
+between scalars and mapping elements.
+
+Memory: bytes 0x00–0x3F are hash scratch.  Every function gets a static
+frame (parameters, locals, one return slot) at a unique offset — MiniSol
+functions are therefore non-reentrant internally (no recursion), which the
+compiler rejects at call-graph level elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast_nodes as ast
+
+#: first byte after the reserved hash scratch area
+FRAME_BASE = 0x40
+WORD_SIZE = 32
+
+
+@dataclass
+class StorageLayout:
+    """Slot assignment for one contract's state variables."""
+
+    slots: dict = field(default_factory=dict)   # name -> slot
+    types: dict = field(default_factory=dict)   # name -> Type
+
+    @classmethod
+    def for_contract(cls, contract: ast.ContractDef) -> "StorageLayout":
+        layout = cls()
+        for index, var in enumerate(contract.state_vars):
+            layout.slots[var.name] = index
+            layout.types[var.name] = var.var_type
+        return layout
+
+    def slot_of(self, name: str) -> int:
+        return self.slots[name]
+
+    def is_state_var(self, name: str) -> bool:
+        return name in self.slots
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+
+@dataclass
+class MemoryFrame:
+    """Static memory frame of one function: param/local offsets + return slot."""
+
+    function: str
+    offsets: dict = field(default_factory=dict)  # name -> byte offset
+    ret_offset: int = 0
+    start: int = 0
+    size: int = 0
+
+    def offset_of(self, name: str) -> int:
+        return self.offsets[name]
+
+    def has_local(self, name: str) -> bool:
+        return name in self.offsets
+
+
+def collect_locals(body: ast.Stmt) -> list[str]:
+    """All local variable names declared anywhere inside ``body`` (in order)."""
+    names: list[str] = []
+
+    def walk(stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            for s in stmt.statements:
+                walk(s)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.name not in names:
+                names.append(stmt.name)
+        elif isinstance(stmt, ast.If):
+            walk(stmt.then)
+            if stmt.otherwise is not None:
+                walk(stmt.otherwise)
+        elif isinstance(stmt, ast.While):
+            walk(stmt.body)
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                walk(stmt.init)
+            if stmt.update is not None:
+                walk(stmt.update)
+            walk(stmt.body)
+
+    walk(body)
+    return names
+
+
+def build_frames(contract: ast.ContractDef) -> tuple[dict, int]:
+    """Assign a memory frame to every function.
+
+    Returns ``(frames, scratch_offset)`` where ``scratch_offset`` is the first
+    free byte after all frames — used as keccak/call-argument scratch space.
+    """
+    frames: dict[str, MemoryFrame] = {}
+    cursor = FRAME_BASE
+    for fn in contract.functions:
+        frame = MemoryFrame(function=fn.name, start=cursor)
+        for param in fn.params:
+            frame.offsets[param.name] = cursor
+            cursor += WORD_SIZE
+        for local in collect_locals(fn.body):
+            if local in frame.offsets:
+                continue
+            frame.offsets[local] = cursor
+            cursor += WORD_SIZE
+        frame.ret_offset = cursor
+        cursor += WORD_SIZE
+        frame.size = cursor - frame.start
+        frames[fn.name] = frame
+    return frames, cursor

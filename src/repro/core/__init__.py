@@ -1,0 +1,46 @@
+"""MuFuzz core: the sequence-aware, mask-guided, energy-adaptive fuzzer.
+
+The public entry point is :class:`~repro.core.fuzzer.Fuzzer` configured by a
+:class:`~repro.core.config.FuzzerConfig`; ``mufuzz_config()`` yields the
+paper's full system, and the named baseline configs
+(:func:`~repro.core.config.sfuzz_config`, ...) re-use the same campaign loop
+with individual strategies swapped out — exactly how the paper's ablation
+(§V-D) and baseline comparisons are organized.
+"""
+
+from repro.core.config import (
+    FuzzerConfig,
+    mufuzz_config,
+    sfuzz_config,
+    confuzzius_config,
+    irfuzz_config,
+    smartian_config,
+)
+from repro.core.seeds import Seed, SeedQueue, TxCall
+from repro.core.sequence import SequenceGenerator
+from repro.core.masking import MutationMask, MutationType, SeedMutator
+from repro.core.energy import EnergyScheduler
+from repro.core.coverage import CoverageTracker
+from repro.core.campaign import CampaignResult
+from repro.core.fuzzer import Fuzzer, fuzz_contract
+
+__all__ = [
+    "FuzzerConfig",
+    "mufuzz_config",
+    "sfuzz_config",
+    "confuzzius_config",
+    "irfuzz_config",
+    "smartian_config",
+    "Seed",
+    "SeedQueue",
+    "TxCall",
+    "SequenceGenerator",
+    "MutationMask",
+    "MutationType",
+    "SeedMutator",
+    "EnergyScheduler",
+    "CoverageTracker",
+    "CampaignResult",
+    "Fuzzer",
+    "fuzz_contract",
+]

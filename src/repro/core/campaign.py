@@ -1,0 +1,45 @@
+"""Campaign results: what one fuzzing run reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CampaignResult:
+    """Summary of one fuzzing campaign on one contract."""
+
+    fuzzer: str
+    contract: str
+    coverage: float
+    iterations: int
+    total_steps: int
+    wall_time: float
+    findings: list = field(default_factory=list)
+    #: (cumulative steps, coverage fraction) samples
+    curve: list = field(default_factory=list)
+    seeds_in_queue: int = 0
+    transactions: int = 0
+    #: sequence the fuzzer converged on most recently (for case studies)
+    example_sequence: list = field(default_factory=list)
+
+    @property
+    def bug_classes(self) -> set:
+        return {f.bug_class for f in self.findings}
+
+    def findings_by_class(self) -> dict:
+        out: dict = {}
+        for finding in self.findings:
+            out.setdefault(finding.bug_class, []).append(finding)
+        return out
+
+    def coverage_at_step(self, step: int) -> float:
+        """Coverage the campaign had reached by ``step`` executed
+        instructions (the curves' shared x-axis)."""
+        best = 0.0
+        for s, cov in self.curve:
+            if s <= step:
+                best = cov
+            else:
+                break
+        return best

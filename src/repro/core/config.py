@@ -1,0 +1,125 @@
+"""Fuzzer configuration and the named tool presets.
+
+Every fuzzer the paper evaluates shares one campaign loop; what
+distinguishes MuFuzz, sFuzz, ConFuzzius, IR-Fuzz, and Smartian — and the
+three ablated MuFuzz variants of Fig. 7 — is captured by the strategy knobs
+here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+#: sequence construction strategies (§IV-A and baselines' documented behaviour)
+SEQ_RANDOM = "random"                  # sFuzz: random ordering
+SEQ_DATAFLOW = "dataflow"              # ConFuzzius/Smartian: write-before-read
+SEQ_DATAFLOW_REPEAT = "dataflow-repeat"  # MuFuzz: + RAW-driven repetition
+SEQ_DATAFLOW_PROLONG = "dataflow-prolong"  # IR-Fuzz: + random prolongation
+
+#: energy strategies (§IV-C and baselines)
+ENERGY_UNIFORM = "uniform"   # sFuzz default scheme
+ENERGY_DYNAMIC = "dynamic"   # MuFuzz: nested-score + vulnerable-reach weights
+ENERGY_REVISIT = "revisit"   # IR-Fuzz: rare-branch revisiting
+
+
+@dataclass
+class FuzzerConfig:
+    """All tunables of one fuzzing campaign."""
+
+    name: str = "MuFuzz"
+    iterations: int = 150
+    rng_seed: int = 1
+
+    # strategy knobs
+    sequence_strategy: str = SEQ_DATAFLOW_REPEAT
+    use_mask: bool = True
+    use_distance_feedback: bool = True
+    energy_strategy: str = ENERGY_DYNAMIC
+
+    # sequence shape
+    max_sequence_length: int = 8
+    initial_population: int = 3
+
+    # per-iteration mutation energy
+    base_energy: int = 4
+    max_energy: int = 16
+
+    # mask computation cost control (probe positions per stream) and the
+    # fraction of the campaign budget mask probing may consume in total
+    mask_probe_limit: int = 4
+    mask_budget_fraction: float = 0.15
+    # probability of sending a fallback / unknown-selector transaction,
+    # which is how real fuzzers cover the dispatcher's failure edges
+    fallback_probability: float = 0.05
+
+    # §VI future-work optimization: memoize post-prefix chain states and
+    # replay only suffixes (off by default — the published system
+    # re-executes from fresh state every round)
+    use_state_cache: bool = False
+    state_cache_capacity: int = 64
+
+    # execution environment
+    tx_gas: int = 5_000_000
+    max_steps_per_tx: int = 60_000
+    deploy_balance: int = 10 ** 19  # 10 ether pre-funded
+    attacker_reentry: bool = True
+
+    # Smartian-style fresh-state re-execution per round costs extra "time";
+    # modeled as an execution-step multiplier in the coverage curves.
+    reexecution_overhead: float = 1.0
+
+    def variant(self, **overrides) -> "FuzzerConfig":
+        """A copy with some knobs replaced (used by the ablation bench)."""
+        return replace(self, **overrides)
+
+
+def mufuzz_config(**overrides) -> FuzzerConfig:
+    """The full MuFuzz system (§IV)."""
+    return FuzzerConfig(name="MuFuzz").variant(**overrides)
+
+
+def sfuzz_config(**overrides) -> FuzzerConfig:
+    """sFuzz: random transaction order, AFL-style mutation, branch-distance
+    seed selection, uniform energy."""
+    return FuzzerConfig(
+        name="sFuzz",
+        sequence_strategy=SEQ_RANDOM,
+        use_mask=False,
+        use_distance_feedback=True,
+        energy_strategy=ENERGY_UNIFORM,
+    ).variant(**overrides)
+
+
+def confuzzius_config(**overrides) -> FuzzerConfig:
+    """ConFuzzius: data-dependency ordering, random input mutation."""
+    return FuzzerConfig(
+        name="ConFuzzius",
+        sequence_strategy=SEQ_DATAFLOW,
+        use_mask=False,
+        use_distance_feedback=True,
+        energy_strategy=ENERGY_UNIFORM,
+    ).variant(**overrides)
+
+
+def irfuzz_config(**overrides) -> FuzzerConfig:
+    """IR-Fuzz: invocation ordering + prolongation + branch revisiting."""
+    return FuzzerConfig(
+        name="IR-Fuzz",
+        sequence_strategy=SEQ_DATAFLOW_PROLONG,
+        use_mask=False,
+        use_distance_feedback=True,
+        energy_strategy=ENERGY_REVISIT,
+    ).variant(**overrides)
+
+
+def smartian_config(**overrides) -> FuzzerConfig:
+    """Smartian: data-flow ordering, coverage feedback only, and per-round
+    fresh-state re-execution (its documented overhead, §VI)."""
+    return FuzzerConfig(
+        name="Smartian",
+        sequence_strategy=SEQ_DATAFLOW,
+        use_mask=False,
+        use_distance_feedback=False,
+        energy_strategy=ENERGY_UNIFORM,
+        reexecution_overhead=1.6,
+    ).variant(**overrides)

@@ -1,0 +1,71 @@
+"""Branch-coverage accounting for one campaign.
+
+The coverage unit is a basic-block transition: one direction of one JUMPI
+(§V-B "the number of basic block transitions covered, which is also referred
+to as branch coverage").  The denominator is the compiler-known total over
+the runtime code, so percentages are comparable across fuzzers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.artifacts import CompiledContract
+from repro.evm.trace import ExecutionTrace
+
+
+@dataclass
+class CoverageTracker:
+    """Covered JUMPI directions for one deployed contract."""
+
+    artifact: CompiledContract
+    address: int
+    covered: set = field(default_factory=set)   # (pc, taken)
+    #: (cumulative executed steps, coverage fraction) samples
+    curve: list = field(default_factory=list)
+    total_steps: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.artifact.total_branches
+
+    def add_trace(self, trace: ExecutionTrace,
+                  step_multiplier: float = 1.0) -> int:
+        """Merge one execution; returns the number of newly covered edges."""
+        new = 0
+        for address, pc, taken in trace.branch_edges:
+            if address != self.address:
+                continue
+            edge = (pc, taken)
+            if edge not in self.covered:
+                self.covered.add(edge)
+                new += 1
+        self.total_steps += int(trace.steps * step_multiplier)
+        self.curve.append((self.total_steps, self.coverage()))
+        return new
+
+    def coverage(self) -> float:
+        """Covered fraction in [0, 1]."""
+        if self.total == 0:
+            return 1.0
+        return min(1.0, len(self.covered) / self.total)
+
+    def uncovered_targets(self) -> list:
+        """Branch directions seen statically but not yet covered, as
+        (address, pc, taken) targets for distance feedback."""
+        out = []
+        for pc in self.artifact.branch_info:
+            for taken in (True, False):
+                if (pc, taken) not in self.covered:
+                    out.append((self.address, pc, taken))
+        return out
+
+    def sample_curve(self, points: int = 20) -> list:
+        """Down-sample the curve to ``points`` (for plotting/benches)."""
+        if not self.curve:
+            return []
+        if len(self.curve) <= points:
+            return list(self.curve)
+        step = len(self.curve) / points
+        return [self.curve[min(len(self.curve) - 1, int(i * step))]
+                for i in range(points)] + [self.curve[-1]]

@@ -1,0 +1,434 @@
+"""The fuzzing campaign loop shared by MuFuzz and every baseline.
+
+One iteration = one execution of a full transaction sequence against a fresh
+fork of the deployed state.  The strategy knobs in
+:class:`~repro.core.config.FuzzerConfig` select the paper's components:
+
+* sequence construction/mutation (§IV-A) via
+  :class:`~repro.core.sequence.SequenceGenerator`,
+* branch-distance seed selection and mask-guided input mutation (§IV-B,
+  Algorithms 1–2) via :mod:`repro.core.masking`,
+* dynamic energy adjustment (§IV-C, Algorithm 3) via
+  :class:`~repro.core.energy.EnergyScheduler`,
+* the nine bug oracles (§IV-D) observing every receipt.
+
+Mask probe executions consume campaign budget like any other execution —
+the paper's Algorithm 2 also pays per-probe fuzz runs.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.analysis.dataflow import analyze_contract
+from repro.analysis.distance import distances_from_trace
+from repro.analysis.prefix import PrefixAnalyzer
+from repro.chain.agents import BenignAgent, ReentrantAgent, RejectingAgent
+from repro.chain.blockchain import Chain
+from repro.chain.transactions import Transaction
+from repro.compiler.abi import encode_call, encode_words
+from repro.compiler.artifacts import CompiledContract
+from repro.compiler.codegen import compile_source
+from repro.core.campaign import CampaignResult
+from repro.core.config import FuzzerConfig, mufuzz_config
+from repro.core.coverage import CoverageTracker
+from repro.core.energy import EnergyScheduler
+from repro.core.inputs import InputGenerator
+from repro.core.masking import MutationMask, SeedMutator, compute_mask
+from repro.core.seeds import Seed, SeedQueue, TxCall
+from repro.core.sequence import SequenceGenerator
+from repro.core.statecache import PrefixStateCache
+from repro.evm.trace import ExecutionTrace
+from repro.oracles.base import FindingCollector, OracleContext
+from repro.oracles.registry import all_oracles
+
+#: pseudo-function names for dispatcher-edge probing transactions
+FALLBACK_CALL = "#fallback"
+BAD_SELECTOR_CALL = "#badselector"
+
+#: fixed account addresses used by every campaign
+DEPLOYER = 0x00D0_0001
+USER_1 = 0x00CA_FE01
+USER_2 = 0x00CA_FE02
+ATTACKER = 0x00A7_7AC0   # reentrant agent
+REJECTOR = 0x00E7_7E01   # fallback-reverting agent
+
+
+class Fuzzer:
+    """Runs one campaign on one contract."""
+
+    def __init__(self, artifact: CompiledContract | str,
+                 config: FuzzerConfig | None = None,
+                 supported_bug_classes=None) -> None:
+        if isinstance(artifact, str):
+            artifact = compile_source(artifact)
+        self.artifact = artifact
+        self.config = config if config is not None else mufuzz_config()
+        self.rng = random.Random(self.config.rng_seed)
+        self.dataflow = analyze_contract(artifact.contract_ast)
+        self.prefix = PrefixAnalyzer(artifact.runtime_code)
+        self.seqgen = SequenceGenerator(
+            artifact.contract_ast, self.dataflow, self.rng,
+            self.config.sequence_strategy, self.config.max_sequence_length)
+        self.mutator = SeedMutator(self.rng, self._harvest_constants())
+        self.scheduler = EnergyScheduler(
+            strategy=self.config.energy_strategy, prefix=self.prefix,
+            base_energy=self.config.base_energy,
+            max_energy=self.config.max_energy)
+        self.oracles = all_oracles(supported_bug_classes)
+        self.collector = FindingCollector()
+
+        self.queue = SeedQueue()
+        self.executions = 0
+        self.transactions = 0
+        self._global_best_distance: dict = {}
+        self._masks: dict = {}
+        self._mask_probes = 0
+        #: how many queue seeds cover each edge (AFL-style favored retention)
+        self._edge_seed_counts: dict = {}
+        self.state_cache = (PrefixStateCache(self.config.state_cache_capacity)
+                            if self.config.use_state_cache else None)
+        self._setup_chain()
+        self.coverage = CoverageTracker(artifact=artifact,
+                                        address=self.address)
+        self.ctx = OracleContext(
+            artifact=artifact, address=self.address, deployer=DEPLOYER,
+            attacker_addresses=frozenset({ATTACKER, REJECTOR}))
+
+    # -- environment -------------------------------------------------------------
+
+    def _setup_chain(self) -> None:
+        chain = Chain(max_steps=self.config.max_steps_per_tx)
+        chain.create_account(DEPLOYER)
+        chain.create_account(USER_1)
+        chain.create_account(USER_2)
+        self.reentrant_agent = ReentrantAgent(ATTACKER)
+        if self.config.attacker_reentry:
+            chain.register_agent(ATTACKER, self.reentrant_agent)
+        else:
+            chain.register_agent(ATTACKER, BenignAgent())
+        chain.register_agent(REJECTOR, RejectingAgent())
+
+        self.accounts = [DEPLOYER, USER_1, USER_2, ATTACKER, REJECTOR]
+        self.inputs = InputGenerator(
+            self.rng, self.accounts,
+            extra_constants=self._harvest_constants(),
+            sender_weights=(0.20, 0.175, 0.125, 0.35, 0.15))
+
+        ctor_args = [self.inputs.value_for_type(t)
+                     for t in self.artifact.abi.constructor_inputs]
+        deployed = chain.deploy(
+            self.artifact, ctor_args=encode_words(ctor_args),
+            sender=DEPLOYER, value=self.config.deploy_balance)
+        self.address = deployed.address
+        self.base_chain = chain
+
+    def _harvest_constants(self) -> tuple:
+        """PUSH immediates from the runtime code, used as interesting input
+        values (how real smart-contract fuzzers cross magic-value guards)."""
+        from repro.analysis.disassembler import disassemble
+        values = set()
+        for ins in disassemble(self.artifact.runtime_code):
+            # PUSH3 and wider: genuine program constants (PUSH1/PUSH2 are
+            # dominated by memory offsets and jump labels).
+            if ins.operand is not None and ins.size >= 4 \
+                    and 2 < ins.operand < (1 << 130):
+                values.add(ins.operand)
+        return tuple(sorted(values))
+
+    # -- seed construction ----------------------------------------------------------
+
+    def _fresh_seed(self) -> Seed:
+        functions = self.seqgen.base_sequence()
+        return Seed(calls=[self._fresh_call(name) for name in functions])
+
+    def _fresh_call(self, function: str) -> TxCall:
+        if function in (FALLBACK_CALL, BAD_SELECTOR_CALL):
+            return TxCall(function=function, args=[], value=0,
+                          sender=self.inputs.sender())
+        fn = self.artifact.abi.function(function)
+        return TxCall(
+            function=function,
+            args=self.inputs.args_for(fn),
+            value=self.inputs.call_value_for(fn),
+            sender=self.inputs.sender())
+
+    def _encode_call(self, call: TxCall) -> bytes:
+        if call.function == FALLBACK_CALL:
+            return b""
+        if call.function == BAD_SELECTOR_CALL:
+            # fixed unknown selector: encoding must be deterministic so the
+            # prefix-state cache and campaign replay stay exact
+            return encode_words([0xDEADBEEF])
+        return encode_call(self.artifact.abi.function(call.function),
+                           call.args)
+
+    # -- execution --------------------------------------------------------------------
+
+    def _execute(self, seed: Seed) -> ExecutionTrace:
+        """Run the seed's transaction sequence on a fresh state fork.
+
+        With ``use_state_cache`` (§VI future-work optimization) the longest
+        memoized transaction prefix is skipped: its cached chain state is
+        forked and only the suffix replays.
+        """
+        start_at = 0
+        chain = None
+        merged = None
+        if self.state_cache is not None:
+            start_at, chain, merged = \
+                self.state_cache.longest_prefix(seed.calls)
+        if chain is None:
+            chain = self.base_chain.fork()
+            merged = ExecutionTrace()
+
+        for index in range(start_at, len(seed.calls)):
+            call = seed.calls[index]
+            data = self._encode_call(call)
+            if self.config.attacker_reentry:
+                self.reentrant_agent.arm(data)
+            tx = Transaction(
+                sender=call.sender, to=self.address, value=call.value,
+                data=data, gas=self.config.tx_gas, function=call.function)
+            receipt = chain.apply(tx)
+            self.transactions += 1
+            merged.merge(receipt.trace)
+            for oracle in self.oracles:
+                self.collector.extend(oracle.on_receipt(receipt, self.ctx))
+            if self.state_cache is not None:
+                self.state_cache.insert(seed.calls, index + 1, chain, merged)
+        self.executions += 1
+        return merged
+
+    # -- feedback ------------------------------------------------------------------------
+
+    def _feedback(self, seed: Seed, trace: ExecutionTrace) -> int:
+        """Update coverage, distances and seed fitness; returns new edges."""
+        new_edges = self.coverage.add_trace(
+            trace, step_multiplier=self.config.reexecution_overhead)
+        self.scheduler.record(trace, self.address)
+
+        seed.covered_edges = {(pc, taken)
+                              for addr, pc, taken in trace.branch_edges
+                              if addr == self.address}
+        seed.nested_hits = {
+            event.pc for event in trace.branches
+            if event.address == self.address
+            and self._nesting_of(event.pc) >= 1}
+
+        seed.distances = {}
+        seed.improved_distance = False
+        for key, dist in distances_from_trace(trace).items():
+            address, pc, taken = key
+            if address != self.address:
+                continue
+            if (pc, taken) in self.coverage.covered:
+                continue
+            seed.distances[key] = dist
+            best = self._global_best_distance.get(key)
+            if best is None or dist < best:
+                self._global_best_distance[key] = dist
+                seed.improved_distance = True
+        return new_edges
+
+    def _nesting_of(self, pc: int) -> int:
+        info = self.artifact.branch_info.get(pc)
+        return info.nesting if info else 0
+
+    # -- corpus retention --------------------------------------------------------
+
+    def _retain(self, seed: Seed, new_edges: int) -> bool:
+        """Add ``seed`` to the queue on new coverage, or when it exercises an
+        edge few retained seeds cover (AFL's favored-input heuristic: keeps
+        rare-state seeds alive so later mutations can build on them)."""
+        rare = any(self._edge_seed_counts.get(edge, 0) < 2
+                   for edge in seed.covered_edges)
+        if not new_edges and not rare:
+            return False
+        self.queue.add(seed)
+        for edge in seed.covered_edges:
+            self._edge_seed_counts[edge] = \
+                self._edge_seed_counts.get(edge, 0) + 1
+        return True
+
+    # -- seed selection (Algorithm 1, lines 4–13) --------------------------------------------
+
+    def _select_seed(self) -> Seed:
+        if self.config.use_distance_feedback and self.rng.random() < 0.5:
+            targets = [t for t in self._global_best_distance
+                       if (t[1], t[2]) not in self.coverage.covered]
+            if targets:
+                target = self.rng.choice(targets)
+                best = self.queue.best_for_target(target)
+                if best is not None:
+                    return best
+        return self.rng.choice(self.queue.seeds)
+
+    # -- mutation ---------------------------------------------------------------------------------
+
+    def _mutate(self, seed: Seed) -> Seed:
+        child = seed.clone()
+        if self.rng.random() < self.config.fallback_probability:
+            name = self.rng.choice((FALLBACK_CALL, BAD_SELECTOR_CALL))
+            pos = self.rng.randint(0, len(child.calls))
+            child.calls.insert(pos, self._fresh_call(name))
+            return child
+        roll = self.rng.random()
+        if roll < 0.25 and len(child.calls) >= 1:
+            return self._mutate_sequence(child)
+        return self._mutate_inputs(seed, child)
+
+    def _mutate_sequence(self, child: Seed) -> Seed:
+        regular = [f for f in child.functions
+                   if f not in (FALLBACK_CALL, BAD_SELECTOR_CALL)]
+        functions = self.seqgen.mutate_sequence(regular)
+        existing = {c.function: c for c in child.calls}
+        child.calls = [
+            existing[name].clone() if name in existing
+            else self._fresh_call(name)
+            for name in functions]
+        return child
+
+    def _mutate_inputs(self, parent: Seed, child: Seed) -> Seed:
+        if not child.calls:
+            return child
+        index = self.rng.randrange(len(child.calls))
+        call = child.calls[index]
+        if self.rng.random() < 0.15:
+            call.sender = self.inputs.sender()
+
+        # Dictionary/typed mutation: resample one argument from the typed
+        # generator (which knows the contract's PUSH constants).  All
+        # fuzzers share this — it models sFuzz/ConFuzzius value dictionaries.
+        if (call.function not in (FALLBACK_CALL, BAD_SELECTOR_CALL)
+                and self.rng.random() < 0.3):
+            fn = self.artifact.abi.function(call.function)
+            if call.args:
+                arg_index = self.rng.randrange(len(call.args))
+                call.args[arg_index] = self.inputs.value_for_type(
+                    fn.inputs[arg_index])
+            if fn.payable and self.rng.random() < 0.4:
+                call.value = self.inputs.call_value_for(fn)
+            return child
+
+        # Algorithm 1 runs the masked stage for qualifying seeds *alongside*
+        # the regular mutation stage — mix rather than replace.
+        if (self.config.use_mask
+                and (parent.nested_hits or parent.improved_distance)
+                and self.rng.random() < 0.6):
+            mask = self._mask_for(parent, index)
+            if mask is not None:
+                mutated = self.mutator.masked_mutate(call, mask)
+                if mutated is not None:
+                    mutated.sender = call.sender
+                    child.calls[index] = mutated
+                return child
+
+        child.calls[index] = self.mutator.afl_mutate(call)
+        child.calls[index].sender = call.sender
+        return child
+
+    def _mask_for(self, seed: Seed, call_index: int) -> MutationMask | None:
+        """Compute (or reuse) the mutation mask for one call of one seed
+        (Algorithm 2).  Probe executions consume campaign budget, so the
+        total probe spend is capped at a fraction of the campaign; past the
+        cap, uncached masks are skipped (None → regular mutation)."""
+        key = (tuple(seed.functions), call_index)
+        cached = self._masks.get(key)
+        if cached is not None:
+            return cached
+        cap = int(self.config.iterations * self.config.mask_budget_fraction)
+        if self._mask_probes >= cap:
+            return None
+
+        target_hits = set(seed.nested_hits)
+        baseline = dict(seed.distances)
+
+        def probe(stream: bytes) -> bool:
+            if self.executions >= self.config.iterations:
+                return True  # budget exhausted: stop restricting
+            self._mask_probes += 1
+            variant = seed.clone()
+            variant.calls[call_index] = \
+                variant.calls[call_index].apply_stream(stream)
+            trace = self._execute(variant)
+            new_edges = self._feedback(variant, trace)
+            self._retain(variant, new_edges)
+            still_nested = bool(variant.nested_hits & target_hits)
+            improved = any(
+                variant.distances.get(k, 1 << 260) < baseline[k]
+                for k in baseline)
+            return still_nested or improved
+
+        call = seed.calls[call_index]
+        mask = compute_mask(call.to_stream(), probe, self.rng,
+                            probe_limit=self.config.mask_probe_limit)
+        self._masks[key] = mask
+        return mask
+
+    # -- the campaign ------------------------------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        """Execute the full campaign and return its result."""
+        start = time.perf_counter()
+        config = self.config
+
+        if not self.artifact.abi.functions:
+            return CampaignResult(
+                fuzzer=config.name, contract=self.artifact.name,
+                coverage=1.0, iterations=0, total_steps=0, wall_time=0.0)
+
+        # Initial population: first a covering set of sequences that calls
+        # every external function at least once (one seed per chunk for
+        # contracts larger than one sequence), then fresh random seeds.
+        initial = [Seed(calls=[self._fresh_call(f) for f in functions])
+                   for functions in self.seqgen.cover_sequences()]
+        while len(initial) < config.initial_population:
+            initial.append(self._fresh_seed())
+        for seed in initial:
+            if self.executions >= config.iterations:
+                break
+            trace = self._execute(seed)
+            self._feedback(seed, trace)
+            self._retain(seed, new_edges=1)  # initial population always kept
+            if config.energy_strategy == "dynamic" and not self.scheduler.weights:
+                self.scheduler.prefuzz(trace, self.address)
+
+        # main loop
+        while self.executions < config.iterations and len(self.queue):
+            seed = self._select_seed()
+            energy = self.scheduler.energy_for(seed)
+            while energy > 0 and self.executions < config.iterations:
+                energy -= 1
+                child = self._mutate(seed)
+                trace = self._execute(child)
+                new_edges = self._feedback(child, trace)
+                self._retain(child, new_edges)
+                if new_edges:
+                    energy = min(energy + 1, config.max_energy)
+
+        for oracle in self.oracles:
+            self.collector.extend(oracle.finalize(self.ctx))
+
+        last_seed = self.queue.seeds[-1] if len(self.queue) else None
+        return CampaignResult(
+            fuzzer=config.name,
+            contract=self.artifact.name,
+            coverage=self.coverage.coverage(),
+            iterations=self.executions,
+            total_steps=self.coverage.total_steps,
+            wall_time=time.perf_counter() - start,
+            findings=self.collector.all(),
+            curve=list(self.coverage.curve),
+            seeds_in_queue=len(self.queue),
+            transactions=self.transactions,
+            example_sequence=last_seed.functions if last_seed else [],
+        )
+
+
+def fuzz_contract(source_or_artifact, config: FuzzerConfig | None = None,
+                  supported_bug_classes=None) -> CampaignResult:
+    """One-call convenience: fuzz a contract and return the result."""
+    fuzzer = Fuzzer(source_or_artifact, config, supported_bug_classes)
+    return fuzzer.run()

@@ -1,0 +1,91 @@
+"""Typed transaction-input generation.
+
+Initial seeds need plausible argument values per ABI type; mutation then
+refines them.  The value pools mirror AFL's "interesting values" plus the
+ether denominations the paper's benchmarks use (e.g. ``88 finney``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.compiler.abi import FunctionABI
+from repro.lang.types import Type
+
+U256_MAX = (1 << 256) - 1
+
+#: AFL-style interesting integers plus ether denominations.
+INTERESTING_UINTS = (
+    0, 1, 2, 7, 8, 16, 31, 32, 64, 100, 127, 128, 255, 256, 1024,
+    10 ** 12,               # 1 szabo
+    88 * 10 ** 15,          # 88 finney (Fig. 4's magic constant)
+    10 ** 15, 10 ** 18,     # 1 finney / 1 ether
+    100 * 10 ** 18,         # 100 ether (Crowdsale goal)
+    U256_MAX, U256_MAX - 1, 1 << 128, (1 << 255),
+)
+
+#: msg.value candidates for payable functions.
+INTERESTING_VALUES = (
+    0, 1, 10 ** 12, 88 * 10 ** 15, 10 ** 15, 10 ** 18, 5 * 10 ** 18,
+    100 * 10 ** 18,
+)
+
+
+class InputGenerator:
+    """Draws typed argument values and msg.value for transactions.
+
+    ``extra_constants`` carries values harvested from the contract's PUSH
+    immediates — the standard trick (used by sFuzz, ConFuzzius, and
+    Smartian alike) that makes ``require(x == MAGIC)`` gates crossable.
+    """
+
+    def __init__(self, rng: random.Random, account_pool,
+                 extra_constants=(), sender_weights=None) -> None:
+        self.rng = rng
+        self.accounts = list(account_pool)
+        self.constants = tuple(extra_constants)
+        self.sender_weights = (list(sender_weights) if sender_weights
+                               else [1.0] * len(self.accounts))
+
+    def value_for_type(self, abi_type: Type) -> int:
+        """One random value of the given MiniSol type."""
+        kind = abi_type.kind
+        if kind == "bool":
+            return self.rng.randint(0, 1)
+        if kind == "address":
+            # Address arguments skew toward the adversarial agents: a
+            # recipient that re-enters and one whose fallback reverts are
+            # the interesting corner cases for call-related oracles.
+            return self.rng.choices(self.accounts,
+                                    weights=self.sender_weights, k=1)[0]
+        if kind == "bytes32":
+            return self.rng.getrandbits(256)
+        # uint / int
+        roll = self.rng.random()
+        if roll < 0.25 and self.constants:
+            base = self.rng.choice(self.constants)
+            jitter = self.rng.choice((0, 0, 0, 1, -1))
+            return max(0, base + jitter)
+        if roll < 0.6:
+            return self.rng.choice(INTERESTING_UINTS)
+        if roll < 0.85:
+            return self.rng.randint(0, 10 ** 21)
+        return self.rng.getrandbits(256)
+
+    def args_for(self, fn: FunctionABI) -> list:
+        """A full argument vector for ``fn``."""
+        return [self.value_for_type(t) for t in fn.inputs]
+
+    def call_value_for(self, fn: FunctionABI) -> int:
+        """A msg.value: zero unless the function is payable."""
+        if not fn.payable:
+            return 0
+        if self.rng.random() < 0.7:
+            return self.rng.choice(INTERESTING_VALUES)
+        return self.rng.randint(0, 10 ** 19)
+
+    def sender(self) -> int:
+        """A transaction sender drawn from the (weighted) account pool —
+        fuzzing harnesses bias toward the attacker account."""
+        return self.rng.choices(self.accounts,
+                                weights=self.sender_weights, k=1)[0]

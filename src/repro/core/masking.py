@@ -1,0 +1,205 @@
+"""Mask-guided seed mutation (§IV-B, Algorithms 1 and 2).
+
+A test input is a byte stream (argument words + value word, see
+:class:`~repro.core.seeds.TxCall`).  A mutation is a tuple ``(x, n)`` with
+``x ∈ {O, I, R, D}`` — overwrite, insert, replace-with-interesting, delete —
+applied at a position.  The *mask* marks, per position, which mutation types
+preserve the property that made the seed valuable (still hits its nested
+branch, or still improves a branch distance); positions/types outside the
+mask are never mutated by the masked mutator, which is exactly
+``OKTOMUTATE`` in Algorithm 1.
+
+Probing every (position, type) pair costs one execution each (the paper's
+Algorithm 2 does exactly that); pure-Python EVM runs make that expensive, so
+the implementation probes a bounded sample of positions and lets unprobed
+positions inherit the nearest probe's verdict — an explicitly documented
+cost-control approximation (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.inputs import INTERESTING_UINTS
+from repro.core.seeds import TxCall
+
+
+class MutationType(Enum):
+    """The four mutation operators of §IV-B."""
+
+    OVERWRITE = "O"
+    INSERT = "I"
+    REPLACE = "R"
+    DELETE = "D"
+
+
+ALL_MUTATIONS = tuple(MutationType)
+
+#: single-byte interesting values used by REPLACE
+_INTERESTING_BYTES = (0x00, 0x01, 0x7F, 0x80, 0xFF)
+
+
+def mutate_stream(stream: bytes, mutation: MutationType, pos: int, n: int,
+                  rng: random.Random) -> bytes:
+    """Apply ``mutation`` of width ``n`` at ``pos`` (Algorithm 2's MUTATE)."""
+    if not stream:
+        stream = b"\x00" * 32
+    pos = max(0, min(pos, len(stream) - 1))
+    n = max(1, min(n, len(stream) - pos))
+
+    if mutation is MutationType.OVERWRITE:
+        patch = bytes(rng.randrange(256) for _ in range(n))
+        return stream[:pos] + patch + stream[pos + n:]
+    if mutation is MutationType.INSERT:
+        patch = bytes(rng.randrange(256) for _ in range(n))
+        return stream[:pos] + patch + stream[pos:]
+    if mutation is MutationType.REPLACE:
+        if n >= 32 and pos % 32 == 0:
+            word = rng.choice(INTERESTING_UINTS).to_bytes(32, "big")
+            return stream[:pos] + word + stream[pos + 32:]
+        patch = bytes(rng.choice(_INTERESTING_BYTES) for _ in range(n))
+        return stream[:pos] + patch + stream[pos + n:]
+    # DELETE
+    return stream[:pos] + stream[pos + n:]
+
+
+@dataclass
+class MutationMask:
+    """Which (position, mutation-type) pairs are allowed for one seed stream."""
+
+    length: int
+    allowed: dict = field(default_factory=dict)  # pos -> set[MutationType]
+
+    def allow(self, pos: int, mutation: MutationType) -> None:
+        self.allowed.setdefault(pos, set()).add(mutation)
+
+    def ok_to_mutate(self, pos: int, mutation: MutationType) -> bool:
+        """Algorithm 1's OKTOMUTATE."""
+        return mutation in self.allowed.get(pos, ())
+
+    def allowed_pairs(self) -> list:
+        out = []
+        for pos, mutations in self.allowed.items():
+            for mutation in mutations:
+                out.append((pos, mutation))
+        return out
+
+    def spread(self, length: int) -> None:
+        """Let unprobed positions inherit the nearest probed verdict."""
+        if not self.allowed:
+            return
+        probed = sorted(self.allowed)
+        for pos in range(length):
+            if pos in self.allowed:
+                continue
+            nearest = min(probed, key=lambda p: abs(p - pos))
+            self.allowed[pos] = set(self.allowed[nearest])
+
+
+def compute_mask(stream: bytes, probe, rng: random.Random,
+                 probe_limit: int = 24) -> MutationMask:
+    """Algorithm 2: approximate the critical input regions.
+
+    ``probe(mutated_stream) -> bool`` must return True when the mutated
+    input still hits the target nested branch or still shrinks the distance
+    to the uncovered branch (lines 7/10/13/16).  Each probe call is expected
+    to execute the seed — the caller accounts for that energy.
+    """
+    length = max(1, len(stream))
+    mask = MutationMask(length=length)
+    n = rng.randint(1, max(1, length // 4))
+    positions = _sample_positions(length, probe_limit)
+    for pos in positions:
+        for mutation in ALL_MUTATIONS:
+            mutated = mutate_stream(stream, mutation, pos, n, rng)
+            if probe(mutated):
+                mask.allow(pos, mutation)
+    mask.spread(length)
+    return mask
+
+
+def _sample_positions(length: int, limit: int) -> list:
+    """Evenly spread probe positions, always including word boundaries."""
+    if length <= limit:
+        return list(range(length))
+    step = max(1, length // limit)
+    positions = list(range(0, length, step))[:limit]
+    return positions
+
+
+class SeedMutator:
+    """Input-level mutation: AFL-style (baselines) or mask-guided (MuFuzz).
+
+    ``constants`` is the PUSH-immediate dictionary harvested from the
+    contract; the word-level mutations draw from it like AFL's ``-x``
+    dictionary mode.
+    """
+
+    def __init__(self, rng: random.Random, constants=()) -> None:
+        self.rng = rng
+        self.constants = tuple(constants)
+
+    # -- AFL-style (sFuzz / ConFuzzius / Smartian / IR-Fuzz) ---------------------
+
+    def afl_mutate(self, call: TxCall) -> TxCall:
+        """One random mutation: byte-level op, word arithmetic, or a
+        dictionary word splice."""
+        stream = call.to_stream()
+        roll = self.rng.random()
+        if roll < 0.25:
+            return call.apply_stream(self._word_arith(stream))
+        if roll < 0.4 and self.constants:
+            return call.apply_stream(self._word_dictionary(stream))
+        mutation = self.rng.choice(ALL_MUTATIONS)
+        pos = self.rng.randrange(max(1, len(stream)))
+        n = self.rng.choice((1, 2, 4, 8, 32))
+        return call.apply_stream(
+            mutate_stream(stream, mutation, pos, n, self.rng))
+
+    def _word_arith(self, stream: bytes) -> bytes:
+        """AFL-style arithmetic: nudge one aligned word by a small delta."""
+        if len(stream) < 32:
+            return stream
+        word_index = self.rng.randrange(len(stream) // 32)
+        offset = word_index * 32
+        value = int.from_bytes(stream[offset:offset + 32], "big")
+        delta = self.rng.choice((1, -1, 2, -2, 16, -16, 256, -256))
+        value = (value + delta) % (1 << 256)
+        return (stream[:offset] + value.to_bytes(32, "big")
+                + stream[offset + 32:])
+
+    def _word_dictionary(self, stream: bytes) -> bytes:
+        """Splice a harvested program constant into one aligned word."""
+        if len(stream) < 32:
+            return stream
+        word_index = self.rng.randrange(len(stream) // 32)
+        offset = word_index * 32
+        value = self.rng.choice(self.constants) % (1 << 256)
+        return (stream[:offset] + value.to_bytes(32, "big")
+                + stream[offset + 32:])
+
+    # -- mask-guided (MuFuzz) ------------------------------------------------------
+
+    def masked_mutate(self, call: TxCall, mask: MutationMask) -> TxCall | None:
+        """One mutation restricted to the mask; None when nothing is allowed
+        (the whole input is critical — do not mutate it).
+
+        The mutation width is clamped to the contiguous allowed span from
+        the chosen position, so masked-out (critical) bytes are never
+        touched — a strictly stronger guarantee than Algorithm 1's
+        position-only OKTOMUTATE check.
+        """
+        pairs = mask.allowed_pairs()
+        if not pairs:
+            return None
+        pos, mutation = self.rng.choice(pairs)
+        stream = call.to_stream()
+        span = 0
+        while mask.ok_to_mutate(pos + span, mutation) and \
+                pos + span < len(stream):
+            span += 1
+        n = min(self.rng.choice((1, 2, 4, 8, 32)), max(span, 1))
+        return call.apply_stream(
+            mutate_stream(stream, mutation, pos, n, self.rng))

@@ -1,0 +1,107 @@
+"""Seeds: transaction sequences with inputs, plus the seed queue.
+
+A *seed* is one complete test case — an ordered list of transactions
+(function, arguments, msg.value, sender).  For byte-level mutation each
+transaction exposes a *stream* view: its argument words and value word
+concatenated big-endian, exactly the representation Algorithms 1–2 mutate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+WORD = 32
+
+
+@dataclass
+class TxCall:
+    """One transaction in a seed."""
+
+    function: str
+    args: list = field(default_factory=list)
+    value: int = 0
+    sender: int = 0
+
+    # -- byte-stream view (Algorithm 1/2 operate on this) ---------------------
+
+    def to_stream(self) -> bytes:
+        """Arguments followed by msg.value, one 32-byte word each."""
+        words = list(self.args) + [self.value]
+        return b"".join((w % (1 << 256)).to_bytes(WORD, "big") for w in words)
+
+    def apply_stream(self, stream: bytes) -> "TxCall":
+        """A copy with args/value decoded back from a (possibly resized)
+        mutated stream; the word count is restored by zero-pad/truncate."""
+        n_args = len(self.args)
+        needed = (n_args + 1) * WORD
+        stream = stream[:needed] + b"\x00" * max(0, needed - len(stream))
+        words = [int.from_bytes(stream[i * WORD:(i + 1) * WORD], "big")
+                 for i in range(n_args + 1)]
+        return TxCall(function=self.function, args=words[:n_args],
+                      value=words[n_args], sender=self.sender)
+
+    def clone(self) -> "TxCall":
+        return TxCall(function=self.function, args=list(self.args),
+                      value=self.value, sender=self.sender)
+
+
+@dataclass
+class Seed:
+    """A test case plus the fitness facts feedback attaches to it."""
+
+    calls: list = field(default_factory=list)  # list[TxCall]
+    #: branch edges (pc, taken) this seed covered on its last execution
+    covered_edges: set = field(default_factory=set)
+    #: min distance per uncovered target (addr, pc, taken) from last run
+    distances: dict = field(default_factory=dict)
+    #: nested-branch pcs this seed hit (branch events at nesting >= 2)
+    nested_hits: set = field(default_factory=set)
+    #: True when this seed lowered the global distance to some target
+    improved_distance: bool = False
+    energy: int = 0
+    generation: int = 0
+
+    def clone(self) -> "Seed":
+        return Seed(calls=[c.clone() for c in self.calls],
+                    generation=self.generation + 1)
+
+    @property
+    def functions(self) -> list:
+        return [c.function for c in self.calls]
+
+    def __len__(self) -> int:
+        return len(self.calls)
+
+
+class SeedQueue:
+    """The evolving corpus: seeds enter on new coverage or better distance."""
+
+    def __init__(self) -> None:
+        self.seeds: list[Seed] = []
+
+    def __len__(self) -> int:
+        return len(self.seeds)
+
+    def __iter__(self):
+        return iter(self.seeds)
+
+    def add(self, seed: Seed) -> None:
+        self.seeds.append(seed)
+
+    def best_for_target(self, target) -> Seed | None:
+        """The seed with the smallest recorded distance to ``target``
+        (branch-distance-feedback selection, Algorithm 1 lines 7–13)."""
+        best: Seed | None = None
+        best_dist: int | None = None
+        for seed in self.seeds:
+            dist = seed.distances.get(target)
+            if dist is None:
+                continue
+            if best_dist is None or dist < best_dist:
+                best, best_dist = seed, dist
+        return best
+
+    def maskable(self) -> list:
+        """Seeds eligible for mask-guided mutation (Algorithm 1 line 17):
+        they hit a nested branch or improved some branch distance."""
+        return [s for s in self.seeds if s.nested_hits or s.improved_distance]

@@ -1,0 +1,107 @@
+"""Prefix-state caching — the paper's §VI future-work optimization.
+
+MuFuzz (like sFuzz and Smartian) re-executes every transaction sequence
+from a fresh state each round; §VI names the promising improvement: *"not
+to re-execute the previous transactions, but to move directly to some
+intermediate state"*.  This module implements exactly that: chain states
+are memoized keyed by the executed transaction prefix, and a new seed that
+shares a prefix with an earlier one forks the cached state and replays only
+its suffix.
+
+Correctness notes:
+
+* a cache key covers everything that determines a transaction's effect —
+  function, arguments, msg.value, and sender — plus all preceding keys, so
+  a hit guarantees a bit-identical world state (block numbers advance
+  deterministically per transaction);
+* the trace of the skipped prefix is replayed into the seed's merged trace
+  (its coverage still belongs to the seed) but with ``steps`` zeroed — the
+  whole point is that the skipped work costs no execution time.
+
+Enabled via ``FuzzerConfig.use_state_cache``; off by default so the
+benchmarked system stays faithful to the published design.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.chain.blockchain import Chain
+from repro.core.seeds import TxCall
+from repro.evm.trace import ExecutionTrace
+
+
+def call_key(call: TxCall) -> tuple:
+    """The cache-key component of one transaction."""
+    return (call.function, tuple(call.args), call.value, call.sender)
+
+
+def _copy_trace(trace: ExecutionTrace) -> ExecutionTrace:
+    clone = ExecutionTrace()
+    clone.merge(trace)
+    return clone
+
+
+class PrefixStateCache:
+    """LRU cache: transaction-prefix key → (chain state, merged trace)."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        self.capacity = capacity
+        self._store: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.steps_saved = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def longest_prefix(self, calls) -> tuple:
+        """Longest cached prefix of ``calls``.
+
+        Returns ``(depth, chain_fork, trace_copy)`` where ``depth`` is the
+        number of leading transactions that can be skipped (0 = no hit).
+        The returned chain is a private fork; the trace is a private copy
+        with ``steps`` zeroed.
+        """
+        keys = tuple(call_key(c) for c in calls)
+        for depth in range(len(keys), 0, -1):
+            entry = self._store.get(keys[:depth])
+            if entry is None:
+                continue
+            chain, trace = entry
+            self._store.move_to_end(keys[:depth])
+            self.hits += 1
+            self.steps_saved += trace.steps
+            replay = _copy_trace(trace)
+            replay.steps = 0
+            return depth, chain.fork(), replay
+        self.misses += 1
+        return 0, None, None
+
+    # -- insertion --------------------------------------------------------------
+
+    def insert(self, calls, upto: int, chain: Chain,
+               trace: ExecutionTrace) -> None:
+        """Memoize the state after executing ``calls[:upto]``."""
+        if upto == 0:
+            return
+        key = tuple(call_key(c) for c in calls[:upto])
+        if key in self._store:
+            self._store.move_to_end(key)
+            return
+        self._store[key] = (chain.fork(), _copy_trace(trace))
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+
+    def stats(self) -> dict:
+        """Cache effectiveness counters (for the ablation bench)."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "steps_saved": self.steps_saved,
+            "entries": len(self._store),
+        }

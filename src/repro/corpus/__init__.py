@@ -1,0 +1,26 @@
+"""Benchmark corpora standing in for the paper's three datasets.
+
+The paper evaluates on 21,147 real Ethereum contracts (D1), 155 annotated
+vulnerable contracts (D2), and 500 popular large contracts (D3) — none of
+which ship offline.  These generators produce deterministic, seeded MiniSol
+corpora with the same *shape*: D1 mixes small/large contracts with deep
+state-dependent branching split at the paper's 3,632-instruction threshold;
+D2 carries per-class ground-truth bug annotations matching the paper's
+per-class totals; D3 yields large realistic application contracts with a
+known injected-bug profile for the Table IV case study.
+"""
+
+from repro.corpus.builder import GeneratedContract, compile_corpus
+from repro.corpus.d1 import generate_d1, D1_SIZE_THRESHOLD
+from repro.corpus.d2 import generate_d2, D2_CLASS_TOTALS
+from repro.corpus.d3 import generate_d3
+
+__all__ = [
+    "GeneratedContract",
+    "compile_corpus",
+    "generate_d1",
+    "D1_SIZE_THRESHOLD",
+    "generate_d2",
+    "D2_CLASS_TOTALS",
+    "generate_d3",
+]

@@ -1,0 +1,137 @@
+"""D2: the annotated vulnerable-contract benchmark (155 contracts / 215
+annotated vulnerabilities, matching the paper's per-class totals within its
+"217 annotated vulnerabilities, some contracts have multiple bugs").
+
+Allocation: the paper's per-class totals are taken from Table III
+(TP + FN of MuFuzz's column).  Sixty contracts carry two bugs of *different*
+classes; ether-freezing contracts only pair with bug templates that emit no
+ether-out instruction (otherwise EF would be structurally impossible).
+Gates are drawn from the weighted realistic mix (``templates.GATE_WEIGHTS``)
+with a fixed seed, so every class appears at several reachability depths.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus.builder import GeneratedContract
+from repro.corpus.templates import (
+    BUG_TEMPLATES,
+    assemble_contract,
+    pick_gate,
+    block_dependency_dry,
+    ether_freeze,
+    integer_overflow,
+    strict_equality_dry,
+)
+from repro.oracles.base import BugClass
+
+#: per-class annotated-bug totals (Table III, MuFuzz TP+FN column)
+D2_CLASS_TOTALS = {
+    BugClass.IO: 65,
+    BugClass.UE: 31,
+    BugClass.US: 23,
+    BugClass.EF: 22,
+    BugClass.BD: 20,
+    BugClass.SE: 19,
+    BugClass.UD: 17,
+    BugClass.RE: 16,
+    BugClass.TO: 2,
+}
+
+#: number of contracts in the dataset
+D2_CONTRACT_COUNT = 155
+
+#: templates safe to pair with EF (no ether-out instruction)
+_EF_COMPATIBLE = {
+    BugClass.IO: integer_overflow,
+    BugClass.BD: block_dependency_dry,
+    BugClass.SE: strict_equality_dry,
+}
+
+
+def generate_d2(seed: int = 155) -> list:
+    """The deterministic D2 corpus."""
+    rng = random.Random(seed)
+
+    instances: list[BugClass] = []
+    for bug_class, count in D2_CLASS_TOTALS.items():
+        instances.extend([bug_class] * count)
+    total = len(instances)
+    n_pairs = total - D2_CONTRACT_COUNT  # contracts with two bugs
+
+    # -- pairing plan ------------------------------------------------------------
+    pool = {bc: D2_CLASS_TOTALS[bc] for bc in D2_CLASS_TOTALS}
+    pairs: list[tuple] = []
+
+    # EF must pair with a sink-free class (we give them all partners so the
+    # EF contracts exercise two oracles each, like SmartBugs' multi-bug files)
+    ef_partners = [BugClass.IO] * 12 + [BugClass.BD] * 5 + [BugClass.SE] * 5
+    for partner in ef_partners:
+        pairs.append((BugClass.EF, partner))
+        pool[BugClass.EF] -= 1
+        pool[partner] -= 1
+
+    # remaining pairs: repeatedly join the two most frequent distinct classes
+    while len(pairs) < n_pairs:
+        ranked = sorted((bc for bc in pool if pool[bc] > 0),
+                        key=lambda bc: -pool[bc])
+        if len(ranked) < 2:
+            break
+        first, second = ranked[0], ranked[1]
+        pairs.append((first, second))
+        pool[first] -= 1
+        pool[second] -= 1
+
+    singles: list[BugClass] = []
+    for bug_class, remaining in pool.items():
+        singles.extend([bug_class] * remaining)
+    rng.shuffle(singles)
+
+    # -- render contracts -----------------------------------------------------------
+    corpus: list[GeneratedContract] = []
+
+    def next_gate() -> str:
+        return pick_gate(rng)
+
+    def render(name: str, bug_classes) -> GeneratedContract:
+        fragments = []
+        expected: set = set()
+        lookalikes: set = set()
+        has_ef = BugClass.EF in bug_classes
+        for offset, bug_class in enumerate(bug_classes):
+            if has_ef and bug_class in _EF_COMPATIBLE:
+                template = _EF_COMPATIBLE[bug_class]
+            else:
+                template = rng.choice(BUG_TEMPLATES[bug_class])
+            frag = template(rng, offset, next_gate())
+            if has_ef and frag.uses_send:
+                # Never emit an ether-out op into an EF contract.
+                frag = ether_freeze(rng, offset + 50, "none")
+            fragments.append(frag)
+            expected |= frag.bugs
+            lookalikes |= frag.lookalikes
+        source = assemble_contract(name, fragments)
+        return GeneratedContract(name=name, source=source,
+                                 expected_bugs=expected,
+                                 benign_lookalikes=lookalikes)
+
+    index = 0
+    for first, second in pairs:
+        corpus.append(render(f"Vuln{index}", (first, second)))
+        index += 1
+    for bug_class in singles:
+        corpus.append(render(f"Vuln{index}", (bug_class,)))
+        index += 1
+
+    assert len(corpus) == D2_CONTRACT_COUNT, len(corpus)
+    return corpus
+
+
+def class_totals(corpus) -> dict:
+    """Annotated bugs per class over a corpus (sanity/reporting helper)."""
+    totals: dict = {}
+    for contract in corpus:
+        for bug_class in contract.expected_bugs:
+            totals[bug_class] = totals.get(bug_class, 0) + 1
+    return totals

@@ -1,0 +1,573 @@
+"""Parameterized MiniSol source templates for the benchmark corpora.
+
+Every template is a function ``(rng, idx, gate) -> Fragment`` producing the
+state variables and functions that implement one vulnerable (or benign)
+pattern.  ``gate`` controls how deeply the buggy code is buried:
+
+* ``none``      — directly reachable,
+* ``input``     — behind an equality check on a magic constant,
+* ``sequence``  — behind a Crowdsale-style accumulator that must be driven
+  over a threshold by *repeated* calls (the paper's motivating shape),
+* ``nested``    — behind two or three nested conditionals.
+
+The gates are what separates the fuzzers in Table III: every tool's oracle
+could recognize the bug, but only fuzzers that reach the gated code observe
+it.  Static analyzers see the pattern regardless of gates but match narrow
+shapes (see :mod:`repro.baselines.static`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.oracles.base import BugClass
+
+GATES = ("none", "input", "sequence", "nested")
+
+#: realistic gate mix: most real annotated bugs are directly reachable; a
+#: substantial minority hide behind sequence-dependent or nested conditions
+GATE_WEIGHTS = (0.5, 0.1, 0.2, 0.2)
+
+
+def pick_gate(rng: random.Random) -> str:
+    """Draw a gate according to the realistic mix."""
+    return rng.choices(GATES, weights=GATE_WEIGHTS, k=1)[0]
+
+
+@dataclass
+class Fragment:
+    """One template's contribution to a contract."""
+
+    state: list = field(default_factory=list)      # state var declarations
+    ctor: list = field(default_factory=list)       # constructor statements
+    functions: list = field(default_factory=list)  # full function sources
+    bugs: set = field(default_factory=set)         # BugClass ground truth
+    lookalikes: set = field(default_factory=set)   # benign FP bait
+    uses_send: bool = False                        # has an ether-out op
+
+    def merge(self, other: "Fragment") -> None:
+        self.state.extend(other.state)
+        self.ctor.extend(other.ctor)
+        self.functions.extend(other.functions)
+        self.bugs |= other.bugs
+        self.lookalikes |= other.lookalikes
+        self.uses_send = self.uses_send or other.uses_send
+
+
+# ---------------------------------------------------------------------------
+# gating helpers
+# ---------------------------------------------------------------------------
+
+
+def _magic(rng: random.Random) -> int:
+    # At least three bytes wide so the constant appears as a PUSH3+ immediate
+    # (what fuzzers' dictionary harvesting picks up, like real magic values).
+    return rng.randint(70_000, 99_999_999)
+
+
+def _gate_wrap(gate: str, idx: int, rng: random.Random, body: str,
+               param: str) -> tuple:
+    """Wrap ``body`` behind the requested gate.
+
+    Returns ``(state_decls, extra_functions, wrapped_body)``; ``param`` is a
+    uint parameter name available inside the host function.
+    """
+    if gate == "input":
+        magic = _magic(rng)
+        return [], [], (f"require({param} == {magic});\n        " + body)
+    if gate == "sequence":
+        pot = f"pot{idx}"
+        open_flag = f"open{idx}"
+        threshold = rng.choice((50, 80, 120))
+        fund = (
+            f"    function fund{idx}(uint256 amount{idx}) public {{\n"
+            f"        require(amount{idx} <= 500 ether);\n"
+            f"        if ({pot} < {threshold} ether) {{\n"
+            f"            {pot} += amount{idx};\n"
+            f"        }} else {{\n"
+            f"            {open_flag} = 1;\n"
+            f"        }}\n"
+            f"    }}\n")
+        state = [f"uint256 {pot} = 0;", f"uint256 {open_flag} = 0;"]
+        return state, [fund], (f"require({open_flag} == 1);\n        " + body)
+    if gate == "nested":
+        magic = _magic(rng)
+        limit = rng.choice((100, 1000, 10_000))
+        wrapped = (
+            f"if ({param} < {limit}) {{\n"
+            f"            if ({param} % 2 == 0) {{\n"
+            f"                if ({param} != {magic}) {{\n"
+            f"                    {body}\n"
+            f"                }}\n"
+            f"            }}\n"
+            f"        }}")
+        return [], [], wrapped
+    return [], [], body
+
+
+def _assemble(idx: int, rng: random.Random, gate: str, body: str,
+              fn_name: str, payable: bool = False,
+              extra_params: str = "") -> Fragment:
+    """Build a Fragment whose single entry function wraps ``body``."""
+    param = f"x{idx}"
+    state, extra_fns, wrapped = _gate_wrap(gate, idx, rng, body, param)
+    pay = " payable" if payable else ""
+    params = f"uint256 {param}"
+    if extra_params:
+        params += ", " + extra_params
+    fn = (f"    function {fn_name}({params}) public{pay} {{\n"
+          f"        {wrapped}\n"
+          f"    }}\n")
+    frag = Fragment(state=state, functions=extra_fns + [fn])
+    return frag
+
+
+# ---------------------------------------------------------------------------
+# vulnerable templates (one per bug class)
+# ---------------------------------------------------------------------------
+
+
+def block_dependency(rng: random.Random, idx: int, gate: str) -> Fragment:
+    """BD: block.timestamp / block.number decides a payout branch."""
+    source = rng.choice(("block.timestamp", "block.number"))
+    modulus = rng.choice((7, 10, 16))
+    lucky = rng.randrange(modulus)
+    body = (f"if ({source} % {modulus} == {lucky}) {{\n"
+            f"            msg.sender.transfer(1 finney);\n"
+            f"        }}")
+    frag = _assemble(idx, rng, gate, body, f"lottery{idx}", payable=True)
+    frag.bugs.add(BugClass.BD)
+    frag.uses_send = True
+    return frag
+
+
+def block_dependency_dry(rng: random.Random, idx: int, gate: str) -> Fragment:
+    """BD variant without ether transfer (composable with EF contracts)."""
+    source = rng.choice(("block.timestamp", "block.number"))
+    win = f"wins{idx}"
+    body = (f"if ({source} % 8 == {rng.randrange(8)}) {{\n"
+            f"            {win}[msg.sender] += 1;\n"
+            f"        }}")
+    frag = _assemble(idx, rng, gate, body, f"roll{idx}")
+    frag.state.append(f"mapping(address => uint256) {win};")
+    frag.bugs.add(BugClass.BD)
+    return frag
+
+
+def unprotected_delegatecall(rng: random.Random, idx: int,
+                             gate: str) -> Fragment:
+    """UD: delegatecall whose target comes straight from calldata."""
+    body = f"target{idx}.delegatecall(x{idx});"
+    frag = _assemble(idx, rng, gate, body, f"execute{idx}",
+                     extra_params=f"address target{idx}")
+    frag.bugs.add(BugClass.UD)
+    frag.uses_send = True  # DELEGATECALL counts as a potential ether path
+    return frag
+
+
+def ether_freeze(rng: random.Random, idx: int, gate: str) -> Fragment:
+    """EF: accepts deposits; the contract has no ether-out instruction.
+
+    Only valid when composed into a contract with ``uses_send == False``.
+    """
+    ledger = f"deposits{idx}"
+    body = f"{ledger}[msg.sender] += msg.value;"
+    frag = _assemble(idx, rng, gate, body, f"deposit{idx}", payable=True)
+    frag.state.append(f"mapping(address => uint256) {ledger};")
+    frag.bugs.add(BugClass.EF)
+    return frag
+
+
+def integer_overflow(rng: random.Random, idx: int, gate: str) -> Fragment:
+    """IO: unchecked token arithmetic (classic BEC-style)."""
+    supply = f"supply{idx}"
+    ledger = f"tokens{idx}"
+    variant = rng.choices(("mint", "transfer", "batch"),
+                          weights=(0.25, 0.4, 0.35), k=1)[0]
+    # NB: the arithmetic operand is a *separate* parameter from the gate
+    # parameter x{idx}, otherwise gating constraints would make the
+    # overflow structurally impossible.
+    if variant == "mint":
+        body = (f"{supply} += amt{idx};\n"
+                f"        {ledger}[msg.sender] += amt{idx};")
+        extra = f"uint256 amt{idx}"
+    elif variant == "transfer":
+        body = (f"{ledger}[msg.sender] -= amt{idx};\n"
+                f"        {ledger}[to{idx}] += amt{idx};")
+        extra = f"uint256 amt{idx}, address to{idx}"
+    else:
+        body = (f"uint256 total{idx} = amt{idx} * 3;\n"
+                f"        {ledger}[msg.sender] += total{idx};")
+        extra = f"uint256 amt{idx}"
+    frag = _assemble(idx, rng, gate, body, f"{variant}{idx}",
+                     extra_params=extra)
+    frag.state.append(f"uint256 {supply} = 0;")
+    frag.state.append(f"mapping(address => uint256) {ledger};")
+    frag.bugs.add(BugClass.IO)
+    return frag
+
+
+def reentrancy(rng: random.Random, idx: int, gate: str) -> Fragment:
+    """RE: DAO-style withdraw — ether out before the balance update."""
+    shares = f"shares{idx}"
+    deposit = (
+        f"    function join{idx}() public payable {{\n"
+        f"        {shares}[msg.sender] += msg.value;\n"
+        f"    }}\n")
+    body = (f"uint256 owed{idx} = {shares}[msg.sender];\n"
+            f"        if (owed{idx} > 0) {{\n"
+            f"            bool sent{idx} = msg.sender.call.value(owed{idx})();\n"
+            f"            require(sent{idx});\n"
+            f"            {shares}[msg.sender] = 0;\n"
+            f"        }}")
+    frag = _assemble(idx, rng, gate, body, f"redeem{idx}")
+    frag.state.append(f"mapping(address => uint256) {shares};")
+    frag.functions.insert(0, deposit)
+    frag.bugs.add(BugClass.RE)
+    frag.uses_send = True
+    return frag
+
+
+def unprotected_selfdestruct(rng: random.Random, idx: int,
+                             gate: str) -> Fragment:
+    """US: anyone can destroy the contract."""
+    body = "selfdestruct(msg.sender);"
+    frag = _assemble(idx, rng, gate, body, f"shutdown{idx}")
+    frag.bugs.add(BugClass.US)
+    frag.uses_send = True
+    return frag
+
+
+def strict_equality(rng: random.Random, idx: int, gate: str) -> Fragment:
+    """SE: a strict == on the contract balance guards a bonus."""
+    amount = rng.choice((88, 100, 500))
+    body = (f"if (this.balance == {amount} finney) {{\n"
+            f"            msg.sender.transfer(1 finney);\n"
+            f"        }}")
+    frag = _assemble(idx, rng, gate, body, f"bonus{idx}", payable=True)
+    frag.bugs.add(BugClass.SE)
+    frag.uses_send = True
+    return frag
+
+
+def strict_equality_dry(rng: random.Random, idx: int, gate: str) -> Fragment:
+    """SE variant without transfer (composable with EF)."""
+    flag = f"jackpot{idx}"
+    amount = rng.choice((88, 250))
+    body = (f"if (this.balance == {amount} finney) {{\n"
+            f"            {flag} = 1;\n"
+            f"        }}")
+    frag = _assemble(idx, rng, gate, body, f"check{idx}")
+    frag.state.append(f"uint256 {flag} = 0;")
+    frag.bugs.add(BugClass.SE)
+    return frag
+
+
+def tx_origin(rng: random.Random, idx: int, gate: str) -> Fragment:
+    """TO: tx.origin-based authentication."""
+    body = (f"require(tx.origin == owner);\n"
+            f"        owner.transfer(this.balance);")
+    frag = _assemble(idx, rng, gate, body, f"claim{idx}")
+    frag.bugs.add(BugClass.TO)
+    frag.uses_send = True
+    return frag
+
+
+def king_of_ether(rng: random.Random, idx: int, gate: str) -> Fragment:
+    """UE: King-of-the-Ether-Throne — the payout goes to the *previous*
+    participant, whose fallback may revert; the send result is dropped."""
+    king = f"king{idx}"
+    prize = f"prize{idx}"
+    body = (f"{king}.send({prize});\n"
+            f"        {king} = msg.sender;\n"
+            f"        {prize} = msg.value;")
+    frag = _assemble(idx, rng, gate, body, f"claim{idx}", payable=True)
+    frag.state.append(f"address {king};")
+    frag.state.append(f"uint256 {prize} = 0;")
+    frag.bugs.add(BugClass.UE)
+    frag.uses_send = True
+    return frag
+
+
+def unhandled_exception(rng: random.Random, idx: int, gate: str) -> Fragment:
+    """UE: a send whose result is silently dropped."""
+    variant = rng.choice(("send", "callvalue"))
+    if variant == "send":
+        body = f"to{idx}.send(x{idx});"
+    else:
+        body = f"to{idx}.call.value(x{idx})();"
+    frag = _assemble(idx, rng, gate, body, f"payout{idx}",
+                     extra_params=f"address to{idx}")
+    frag.bugs.add(BugClass.UE)
+    if variant == "callvalue":
+        # gas-forwarding value call: a reentrancy oracle legitimately flags
+        # the callback it permits
+        frag.lookalikes.add(BugClass.RE)
+    frag.uses_send = True
+    return frag
+
+
+#: template registry per bug class (first entry = default)
+BUG_TEMPLATES = {
+    BugClass.BD: (block_dependency, block_dependency_dry),
+    BugClass.UD: (unprotected_delegatecall,),
+    BugClass.EF: (ether_freeze,),
+    BugClass.IO: (integer_overflow,),
+    BugClass.RE: (reentrancy,),
+    BugClass.US: (unprotected_selfdestruct,),
+    BugClass.SE: (strict_equality, strict_equality_dry),
+    BugClass.TO: (tx_origin,),
+    BugClass.UE: (unhandled_exception, king_of_ether),
+}
+
+#: classes whose default template sends ether (cannot share a contract
+#: with an EF bug)
+SENDING_CLASSES = frozenset({
+    BugClass.UD, BugClass.RE, BugClass.US, BugClass.TO, BugClass.UE,
+})
+
+
+# ---------------------------------------------------------------------------
+# benign / protected counterparts (FP bait and D1 filler)
+# ---------------------------------------------------------------------------
+
+
+def safe_withdraw(rng: random.Random, idx: int, gate: str = "none"
+                  ) -> Fragment:
+    """Checks-effects-interactions withdraw: no reentrancy."""
+    ledger = f"vault{idx}"
+    fns = [
+        (f"    function save{idx}() public payable {{\n"
+         f"        {ledger}[msg.sender] += msg.value;\n"
+         f"    }}\n"),
+        (f"    function take{idx}(uint256 amount{idx}) public {{\n"
+         f"        require({ledger}[msg.sender] >= amount{idx});\n"
+         f"        {ledger}[msg.sender] -= amount{idx};\n"
+         f"        msg.sender.transfer(amount{idx});\n"
+         f"    }}\n"),
+    ]
+    return Fragment(state=[f"mapping(address => uint256) {ledger};"],
+                    functions=fns, uses_send=True)
+
+
+def guarded_selfdestruct(rng: random.Random, idx: int, gate: str = "none"
+                         ) -> Fragment:
+    """Owner-guarded selfdestruct — protected, no US bug."""
+    fn = (f"    function retire{idx}() public onlyOwner {{\n"
+          f"        selfdestruct(owner);\n"
+          f"    }}\n")
+    frag = Fragment(functions=[fn], uses_send=True)
+    frag.lookalikes.add(BugClass.US)
+    return frag
+
+
+def vesting_timestamp(rng: random.Random, idx: int, gate: str = "none"
+                      ) -> Fragment:
+    """Timestamp-compared vesting: commonly annotated benign, but taint-based
+    BD oracles flag it — the Table IV false-positive source."""
+    start = f"start{idx}"
+    fn = (f"    function release{idx}() public {{\n"
+          f"        if (block.timestamp >= {start} + 30) {{\n"
+          f"            released{idx} = 1;\n"
+          f"        }}\n"
+          f"    }}\n")
+    frag = Fragment(
+        state=[f"uint256 {start} = 0;", f"uint256 released{idx} = 0;"],
+        ctor=[f"{start} = block.timestamp;"],
+        functions=[fn])
+    frag.lookalikes.add(BugClass.BD)
+    return frag
+
+
+def checked_send(rng: random.Random, idx: int, gate: str = "none"
+                 ) -> Fragment:
+    """A send whose result is required — handled, no UE."""
+    fn = (f"    function refund{idx}(uint256 amount{idx}) public {{\n"
+          f"        require(amount{idx} <= 1 ether);\n"
+          f"        require(msg.sender.send(amount{idx}));\n"
+          f"    }}\n")
+    frag = Fragment(functions=[fn], uses_send=True)
+    frag.lookalikes.add(BugClass.UE)
+    return frag
+
+
+def guarded_arithmetic(rng: random.Random, idx: int, gate: str = "none"
+                       ) -> Fragment:
+    """SafeMath-style guarded add: overflow reverts, no IO bug."""
+    total = f"locked{idx}"
+    fn = (f"    function lock{idx}(uint256 amount{idx}) public {{\n"
+          f"        require({total} + amount{idx} >= {total});\n"
+          f"        {total} += amount{idx};\n"
+          f"    }}\n")
+    frag = Fragment(state=[f"uint256 {total} = 0;"], functions=[fn])
+    frag.lookalikes.add(BugClass.IO)
+    return frag
+
+
+BENIGN_TEMPLATES = (
+    safe_withdraw, guarded_selfdestruct, vesting_timestamp, checked_send,
+    guarded_arithmetic,
+)
+
+
+# ---------------------------------------------------------------------------
+# D1 feature blocks (coverage-oriented, mostly benign)
+# ---------------------------------------------------------------------------
+
+
+def state_machine_block(rng: random.Random, idx: int) -> Fragment:
+    """A stage counter advanced under conditions — deep sequential states."""
+    stage = f"stage{idx}"
+    steps = rng.randint(2, 4)
+    fns = []
+    for step in range(steps):
+        fns.append(
+            f"    function step{idx}_{step}(uint256 v{idx}) public {{\n"
+            f"        if ({stage} == {step}) {{\n"
+            f"            if (v{idx} > {rng.randint(1, 50)}) {{\n"
+            f"                {stage} = {step + 1};\n"
+            f"            }}\n"
+            f"        }}\n"
+            f"    }}\n")
+    fns.append(
+        f"    function finish{idx}() public {{\n"
+        f"        require({stage} == {steps});\n"
+        f"        {stage} = 0;\n"
+        f"    }}\n")
+    return Fragment(state=[f"uint256 {stage} = 0;"], functions=fns)
+
+
+def accumulator_block(rng: random.Random, idx: int) -> Fragment:
+    """Crowdsale-style RAW accumulator with a threshold flip."""
+    pool = f"pool{idx}"
+    mode = f"mode{idx}"
+    goal = rng.choice((40, 90, 150))
+    fns = [
+        (f"    function add{idx}(uint256 amount{idx}) public {{\n"
+         f"        require(amount{idx} <= 900 ether);\n"
+         f"        if ({pool} < {goal} ether) {{\n"
+         f"            {pool} += amount{idx};\n"
+         f"            {mode} = 0;\n"
+         f"        }} else {{\n"
+         f"            {mode} = 1;\n"
+         f"        }}\n"
+         f"    }}\n"),
+        (f"    function settle{idx}() public {{\n"
+         f"        if ({mode} == 1) {{\n"
+         f"            {pool} = 0;\n"
+         f"        }}\n"
+         f"    }}\n"),
+    ]
+    return Fragment(state=[f"uint256 {pool} = 0;", f"uint256 {mode} = 0;"],
+                    functions=fns)
+
+
+def ledger_block(rng: random.Random, idx: int) -> Fragment:
+    """Mapping-based ledger with guarded moves."""
+    book = f"book{idx}"
+    fns = [
+        (f"    function credit{idx}(address who{idx}, uint256 amt{idx}) "
+         f"public {{\n"
+         f"        require(amt{idx} < 1000 ether);\n"
+         f"        {book}[who{idx}] += amt{idx};\n"
+         f"    }}\n"),
+        (f"    function move{idx}(address to{idx}, uint256 amt{idx}) "
+         f"public {{\n"
+         f"        if ({book}[msg.sender] >= amt{idx}) {{\n"
+         f"            {book}[msg.sender] -= amt{idx};\n"
+         f"            {book}[to{idx}] += amt{idx};\n"
+         f"        }}\n"
+         f"    }}\n"),
+    ]
+    return Fragment(state=[f"mapping(address => uint256) {book};"],
+                    functions=fns)
+
+
+def nested_conditions_block(rng: random.Random, idx: int) -> Fragment:
+    """Three-deep nested conditionals over inputs and one state var."""
+    knob = f"knob{idx}"
+    a, b = rng.randint(2, 30), rng.randint(50, 500)
+    fn = (
+        f"    function tune{idx}(uint256 p{idx}, uint256 q{idx}) public {{\n"
+        f"        if (p{idx} > {a}) {{\n"
+        f"            if (q{idx} < {b}) {{\n"
+        f"                if (p{idx} % {rng.choice((3, 5, 7))} == 1) {{\n"
+        f"                    {knob} = p{idx} % 100000 + q{idx};\n"
+        f"                }} else {{\n"
+        f"                    {knob} = p{idx};\n"
+        f"                }}\n"
+        f"            }}\n"
+        f"        }}\n"
+        f"    }}\n")
+    return Fragment(state=[f"uint256 {knob} = 0;"], functions=[fn])
+
+
+def loop_block(rng: random.Random, idx: int) -> Fragment:
+    """A bounded loop accumulating into state."""
+    acc = f"acc{idx}"
+    cap = rng.choice((5, 8, 12))
+    fn = (
+        f"    function tally{idx}(uint256 n{idx}) public {{\n"
+        f"        uint256 i{idx} = 0;\n"
+        f"        uint256 s{idx} = 0;\n"
+        f"        while (i{idx} < n{idx} && i{idx} < {cap}) {{\n"
+        f"            s{idx} += i{idx};\n"
+        f"            i{idx} += 1;\n"
+        f"        }}\n"
+        f"        {acc} = s{idx};\n"
+        f"    }}\n")
+    return Fragment(state=[f"uint256 {acc} = 0;"], functions=[fn])
+
+
+def admin_block(rng: random.Random, idx: int) -> Fragment:
+    """Owner-guarded parameter setter."""
+    knob = f"fee{idx}"
+    fn = (f"    function setFee{idx}(uint256 v{idx}) public onlyOwner {{\n"
+          f"        require(v{idx} <= 1000);\n"
+          f"        {knob} = v{idx};\n"
+          f"    }}\n")
+    return Fragment(state=[f"uint256 {knob} = 0;"], functions=[fn])
+
+
+D1_BLOCKS = (
+    state_machine_block, accumulator_block, ledger_block,
+    nested_conditions_block, loop_block, admin_block,
+)
+
+
+# ---------------------------------------------------------------------------
+# contract assembly
+# ---------------------------------------------------------------------------
+
+_OWNER_MODIFIER = (
+    "    modifier onlyOwner() {\n"
+    "        require(msg.sender == owner);\n"
+    "        _;\n"
+    "    }\n")
+
+
+def assemble_contract(name: str, fragments, with_owner: bool = True) -> str:
+    """Render a full MiniSol contract from fragments."""
+    merged = Fragment()
+    for frag in fragments:
+        merged.merge(frag)
+
+    lines = [f"contract {name} {{"]
+    if with_owner:
+        lines.append("    address owner;")
+    for decl in merged.state:
+        lines.append(f"    {decl}")
+    lines.append("")
+    if with_owner:
+        lines.append(_OWNER_MODIFIER)
+    ctor_body = ["        owner = msg.sender;"] if with_owner else []
+    ctor_body += [f"        {stmt}" for stmt in merged.ctor]
+    lines.append("    constructor() public {")
+    lines.extend(ctor_body)
+    lines.append("    }")
+    lines.append("")
+    for fn in merged.functions:
+        lines.append(fn)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""A 256-bit stack-machine EVM subset with tracing and taint propagation.
+
+The machine executes the bytecode emitted by :mod:`repro.compiler` and exposes
+per-instruction trace hooks that the fuzzer (:mod:`repro.core`) and the bug
+oracles (:mod:`repro.oracles`) consume.  Opcode numbering follows the real
+Ethereum Virtual Machine so that disassembly and analyses read like analyses
+of genuine EVM output.
+"""
+
+from repro.evm.opcodes import Op, OPCODE_INFO, is_push, push_width
+from repro.evm.machine import Machine, CallContext, ExecutionResult
+from repro.evm.trace import (
+    Taint,
+    TraceEvent,
+    BranchEvent,
+    CallEvent,
+    OverflowEvent,
+    StorageEvent,
+    SelfDestructEvent,
+    ExecutionTrace,
+)
+from repro.evm.errors import (
+    EVMError,
+    StackUnderflow,
+    StackOverflow,
+    InvalidJump,
+    OutOfGas,
+    InvalidOpcode,
+    Revert,
+)
+
+__all__ = [
+    "Op",
+    "OPCODE_INFO",
+    "is_push",
+    "push_width",
+    "Machine",
+    "CallContext",
+    "ExecutionResult",
+    "Taint",
+    "TraceEvent",
+    "BranchEvent",
+    "CallEvent",
+    "OverflowEvent",
+    "StorageEvent",
+    "SelfDestructEvent",
+    "ExecutionTrace",
+    "EVMError",
+    "StackUnderflow",
+    "StackOverflow",
+    "InvalidJump",
+    "OutOfGas",
+    "InvalidOpcode",
+    "Revert",
+]

@@ -1,0 +1,45 @@
+"""Exception hierarchy for EVM execution.
+
+Every abnormal-halt condition is a subclass of :class:`EVMError`.  The machine
+catches these internally and converts them into a failed
+:class:`~repro.evm.machine.ExecutionResult`; they only propagate to callers of
+the raw step API.
+"""
+
+from __future__ import annotations
+
+
+class EVMError(Exception):
+    """Base class for all abnormal EVM halts."""
+
+
+class StackUnderflow(EVMError):
+    """An instruction popped more items than the stack holds."""
+
+
+class StackOverflow(EVMError):
+    """The stack exceeded the 1024-item EVM limit."""
+
+
+class InvalidJump(EVMError):
+    """A JUMP/JUMPI targeted a byte that is not a JUMPDEST."""
+
+
+class OutOfGas(EVMError):
+    """The gas counter dropped below zero."""
+
+
+class InvalidOpcode(EVMError):
+    """Execution reached an undefined or INVALID opcode."""
+
+
+class Revert(EVMError):
+    """Execution reverted explicitly (REVERT opcode or require failure)."""
+
+
+class CallDepthExceeded(EVMError):
+    """The 1024-frame call-depth limit was exceeded."""
+
+
+class InsufficientBalance(EVMError):
+    """A value transfer exceeded the sender's balance."""

@@ -1,0 +1,80 @@
+"""Byte-addressed EVM memory with word-granular shadow tracking."""
+
+from __future__ import annotations
+
+from repro.evm.trace import EMPTY_SHADOW, Shadow
+
+
+class Memory:
+    """Expandable byte memory.
+
+    Shadows are tracked per 32-byte-aligned word, which matches how the
+    MiniSol compiler uses memory (word-sized locals and SHA3 scratch space).
+    Unaligned accesses conservatively union the shadows of the words touched.
+    """
+
+    __slots__ = ("data", "_shadows")
+
+    def __init__(self) -> None:
+        self.data = bytearray()
+        self._shadows: dict[int, Shadow] = {}
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def _expand(self, offset: int, size: int) -> None:
+        end = offset + size
+        if end > len(self.data):
+            # Expand in 32-byte increments like the real EVM.
+            new_len = ((end + 31) // 32) * 32
+            self.data.extend(b"\x00" * (new_len - len(self.data)))
+
+    def store_word(self, offset: int, value: int, shadow: Shadow = EMPTY_SHADOW) -> None:
+        """MSTORE: write a 32-byte big-endian word."""
+        self._expand(offset, 32)
+        self.data[offset:offset + 32] = value.to_bytes(32, "big")
+        if shadow.taints or shadow.dist_true is not None:
+            self._shadows[offset] = shadow
+        else:
+            self._shadows.pop(offset, None)
+
+    def store_byte(self, offset: int, value: int) -> None:
+        """MSTORE8: write the low byte of ``value``."""
+        self._expand(offset, 1)
+        self.data[offset] = value & 0xFF
+
+    def load_word(self, offset: int) -> tuple[int, Shadow]:
+        """MLOAD: read a 32-byte word and its shadow."""
+        self._expand(offset, 32)
+        value = int.from_bytes(self.data[offset:offset + 32], "big")
+        shadow = self._shadows.get(offset)
+        if shadow is None:
+            # Unaligned read: union shadows of any overlapping stored words.
+            taints: frozenset = frozenset()
+            for word_off, s in self._shadows.items():
+                if word_off < offset + 32 and offset < word_off + 32:
+                    taints |= s.taints
+            shadow = Shadow(taints) if taints else EMPTY_SHADOW
+        return value, shadow
+
+    def read(self, offset: int, size: int) -> bytes:
+        """Raw byte-range read (used by SHA3 / RETURN / call argument packing)."""
+        if size == 0:
+            return b""
+        self._expand(offset, size)
+        return bytes(self.data[offset:offset + size])
+
+    def write(self, offset: int, payload: bytes) -> None:
+        """Raw byte-range write (used to place call return data)."""
+        if not payload:
+            return
+        self._expand(offset, len(payload))
+        self.data[offset:offset + len(payload)] = payload
+
+    def range_taints(self, offset: int, size: int) -> frozenset:
+        """Union of taints stored in ``[offset, offset+size)``."""
+        taints: frozenset = frozenset()
+        for word_off, s in self._shadows.items():
+            if word_off < offset + size and offset < word_off + 32:
+                taints |= s.taints
+        return taints

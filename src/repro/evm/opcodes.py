@@ -1,0 +1,254 @@
+"""EVM opcode definitions.
+
+Numbering follows the Ethereum yellow paper so that bytecode produced by the
+MiniSol compiler disassembles like real EVM output.  Only the subset needed by
+the compiler, the fuzzer, and the bug oracles is defined; executing an
+undefined byte raises :class:`repro.evm.errors.InvalidOpcode`, which is itself
+meaningful to the unhandled-exception oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class Op(IntEnum):
+    """EVM opcodes (yellow-paper numbering)."""
+
+    STOP = 0x00
+    ADD = 0x01
+    MUL = 0x02
+    SUB = 0x03
+    DIV = 0x04
+    SDIV = 0x05
+    MOD = 0x06
+    SMOD = 0x07
+    ADDMOD = 0x08
+    MULMOD = 0x09
+    EXP = 0x0A
+    SIGNEXTEND = 0x0B
+
+    LT = 0x10
+    GT = 0x11
+    SLT = 0x12
+    SGT = 0x13
+    EQ = 0x14
+    ISZERO = 0x15
+    AND = 0x16
+    OR = 0x17
+    XOR = 0x18
+    NOT = 0x19
+    BYTE = 0x1A
+    SHL = 0x1B
+    SHR = 0x1C
+
+    SHA3 = 0x20
+
+    ADDRESS = 0x30
+    BALANCE = 0x31
+    ORIGIN = 0x32
+    CALLER = 0x33
+    CALLVALUE = 0x34
+    CALLDATALOAD = 0x35
+    CALLDATASIZE = 0x36
+    CODESIZE = 0x38
+    GASPRICE = 0x3A
+
+    BLOCKHASH = 0x40
+    COINBASE = 0x41
+    TIMESTAMP = 0x42
+    NUMBER = 0x43
+    DIFFICULTY = 0x44
+    GASLIMIT = 0x45
+
+    POP = 0x50
+    MLOAD = 0x51
+    MSTORE = 0x52
+    MSTORE8 = 0x53
+    SLOAD = 0x54
+    SSTORE = 0x55
+    JUMP = 0x56
+    JUMPI = 0x57
+    PC = 0x58
+    MSIZE = 0x59
+    GAS = 0x5A
+    JUMPDEST = 0x5B
+
+    PUSH1 = 0x60
+    PUSH2 = 0x61
+    PUSH3 = 0x62
+    PUSH4 = 0x63
+    PUSH5 = 0x64
+    PUSH6 = 0x65
+    PUSH7 = 0x66
+    PUSH8 = 0x67
+    PUSH16 = 0x6F
+    PUSH20 = 0x73
+    PUSH32 = 0x7F
+
+    DUP1 = 0x80
+    DUP2 = 0x81
+    DUP3 = 0x82
+    DUP4 = 0x83
+    DUP5 = 0x84
+    DUP6 = 0x85
+    DUP7 = 0x86
+    DUP8 = 0x87
+
+    SWAP1 = 0x90
+    SWAP2 = 0x91
+    SWAP3 = 0x92
+    SWAP4 = 0x93
+    SWAP5 = 0x94
+    SWAP6 = 0x95
+    SWAP7 = 0x96
+    SWAP8 = 0x97
+
+    LOG0 = 0xA0
+    LOG1 = 0xA1
+
+    CREATE = 0xF0
+    CALL = 0xF1
+    RETURN = 0xF3
+    DELEGATECALL = 0xF4
+    REVERT = 0xFD
+    INVALID = 0xFE
+    SELFDESTRUCT = 0xFF
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static metadata for one opcode."""
+
+    name: str
+    pops: int
+    pushes: int
+    gas: int
+
+
+#: Base gas schedule (a simplified but yellow-paper-shaped cost model).
+_G_BASE = 2
+_G_VERYLOW = 3
+_G_LOW = 5
+_G_MID = 8
+_G_HIGH = 10
+_G_SLOAD = 200
+_G_SSTORE = 5000
+_G_SHA3 = 30
+_G_CALL = 700
+_G_CREATE = 32000
+_G_SELFDESTRUCT = 5000
+_G_JUMPDEST = 1
+
+OPCODE_INFO: dict[int, OpInfo] = {
+    Op.STOP: OpInfo("STOP", 0, 0, 0),
+    Op.ADD: OpInfo("ADD", 2, 1, _G_VERYLOW),
+    Op.MUL: OpInfo("MUL", 2, 1, _G_LOW),
+    Op.SUB: OpInfo("SUB", 2, 1, _G_VERYLOW),
+    Op.DIV: OpInfo("DIV", 2, 1, _G_LOW),
+    Op.SDIV: OpInfo("SDIV", 2, 1, _G_LOW),
+    Op.MOD: OpInfo("MOD", 2, 1, _G_LOW),
+    Op.SMOD: OpInfo("SMOD", 2, 1, _G_LOW),
+    Op.ADDMOD: OpInfo("ADDMOD", 3, 1, _G_MID),
+    Op.MULMOD: OpInfo("MULMOD", 3, 1, _G_MID),
+    Op.EXP: OpInfo("EXP", 2, 1, _G_HIGH),
+    Op.SIGNEXTEND: OpInfo("SIGNEXTEND", 2, 1, _G_LOW),
+    Op.LT: OpInfo("LT", 2, 1, _G_VERYLOW),
+    Op.GT: OpInfo("GT", 2, 1, _G_VERYLOW),
+    Op.SLT: OpInfo("SLT", 2, 1, _G_VERYLOW),
+    Op.SGT: OpInfo("SGT", 2, 1, _G_VERYLOW),
+    Op.EQ: OpInfo("EQ", 2, 1, _G_VERYLOW),
+    Op.ISZERO: OpInfo("ISZERO", 1, 1, _G_VERYLOW),
+    Op.AND: OpInfo("AND", 2, 1, _G_VERYLOW),
+    Op.OR: OpInfo("OR", 2, 1, _G_VERYLOW),
+    Op.XOR: OpInfo("XOR", 2, 1, _G_VERYLOW),
+    Op.NOT: OpInfo("NOT", 1, 1, _G_VERYLOW),
+    Op.BYTE: OpInfo("BYTE", 2, 1, _G_VERYLOW),
+    Op.SHL: OpInfo("SHL", 2, 1, _G_VERYLOW),
+    Op.SHR: OpInfo("SHR", 2, 1, _G_VERYLOW),
+    Op.SHA3: OpInfo("SHA3", 2, 1, _G_SHA3),
+    Op.ADDRESS: OpInfo("ADDRESS", 0, 1, _G_BASE),
+    Op.BALANCE: OpInfo("BALANCE", 1, 1, 400),
+    Op.ORIGIN: OpInfo("ORIGIN", 0, 1, _G_BASE),
+    Op.CALLER: OpInfo("CALLER", 0, 1, _G_BASE),
+    Op.CALLVALUE: OpInfo("CALLVALUE", 0, 1, _G_BASE),
+    Op.CALLDATALOAD: OpInfo("CALLDATALOAD", 1, 1, _G_VERYLOW),
+    Op.CALLDATASIZE: OpInfo("CALLDATASIZE", 0, 1, _G_BASE),
+    Op.CODESIZE: OpInfo("CODESIZE", 0, 1, _G_BASE),
+    Op.GASPRICE: OpInfo("GASPRICE", 0, 1, _G_BASE),
+    Op.BLOCKHASH: OpInfo("BLOCKHASH", 1, 1, 20),
+    Op.COINBASE: OpInfo("COINBASE", 0, 1, _G_BASE),
+    Op.TIMESTAMP: OpInfo("TIMESTAMP", 0, 1, _G_BASE),
+    Op.NUMBER: OpInfo("NUMBER", 0, 1, _G_BASE),
+    Op.DIFFICULTY: OpInfo("DIFFICULTY", 0, 1, _G_BASE),
+    Op.GASLIMIT: OpInfo("GASLIMIT", 0, 1, _G_BASE),
+    Op.POP: OpInfo("POP", 1, 0, _G_BASE),
+    Op.MLOAD: OpInfo("MLOAD", 1, 1, _G_VERYLOW),
+    Op.MSTORE: OpInfo("MSTORE", 2, 0, _G_VERYLOW),
+    Op.MSTORE8: OpInfo("MSTORE8", 2, 0, _G_VERYLOW),
+    Op.SLOAD: OpInfo("SLOAD", 1, 1, _G_SLOAD),
+    Op.SSTORE: OpInfo("SSTORE", 2, 0, _G_SSTORE),
+    Op.JUMP: OpInfo("JUMP", 1, 0, _G_MID),
+    Op.JUMPI: OpInfo("JUMPI", 2, 0, _G_HIGH),
+    Op.PC: OpInfo("PC", 0, 1, _G_BASE),
+    Op.MSIZE: OpInfo("MSIZE", 0, 1, _G_BASE),
+    Op.GAS: OpInfo("GAS", 0, 1, _G_BASE),
+    Op.JUMPDEST: OpInfo("JUMPDEST", 0, 0, _G_JUMPDEST),
+    Op.LOG0: OpInfo("LOG0", 2, 0, 375),
+    Op.LOG1: OpInfo("LOG1", 3, 0, 750),
+    Op.CREATE: OpInfo("CREATE", 3, 1, _G_CREATE),
+    Op.CALL: OpInfo("CALL", 7, 1, _G_CALL),
+    Op.RETURN: OpInfo("RETURN", 2, 0, 0),
+    Op.DELEGATECALL: OpInfo("DELEGATECALL", 6, 1, _G_CALL),
+    Op.REVERT: OpInfo("REVERT", 2, 0, 0),
+    Op.INVALID: OpInfo("INVALID", 0, 0, 0),
+    Op.SELFDESTRUCT: OpInfo("SELFDESTRUCT", 1, 0, _G_SELFDESTRUCT),
+}
+
+# PUSH/DUP/SWAP families: fill in every width so the disassembler can decode
+# arbitrary compiler output even for widths without a named enum member.
+for _width in range(1, 33):
+    OPCODE_INFO.setdefault(0x60 + _width - 1, OpInfo(f"PUSH{_width}", 0, 1, _G_VERYLOW))
+for _n in range(1, 17):
+    OPCODE_INFO.setdefault(0x80 + _n - 1, OpInfo(f"DUP{_n}", _n, _n + 1, _G_VERYLOW))
+    OPCODE_INFO.setdefault(0x90 + _n - 1, OpInfo(f"SWAP{_n}", _n + 1, _n + 1, _G_VERYLOW))
+
+#: Comparison opcodes whose result feeds branch-distance computation.
+COMPARISON_OPS = frozenset({Op.LT, Op.GT, Op.SLT, Op.SGT, Op.EQ})
+
+#: Instructions the dynamic-energy analysis treats as "vulnerable" (§IV-C).
+VULNERABLE_OPS = frozenset(
+    {Op.CALL, Op.DELEGATECALL, Op.TIMESTAMP, Op.NUMBER, Op.BALANCE,
+     Op.ORIGIN, Op.SELFDESTRUCT, Op.ADD, Op.MUL, Op.SUB}
+)
+
+
+def is_push(opcode: int) -> bool:
+    """Return True for any PUSH1..PUSH32 byte."""
+    return 0x60 <= opcode <= 0x7F
+
+
+def push_width(opcode: int) -> int:
+    """Number of immediate bytes following a PUSH opcode."""
+    if not is_push(opcode):
+        raise ValueError(f"opcode {opcode:#x} is not a PUSH")
+    return opcode - 0x60 + 1
+
+
+def is_dup(opcode: int) -> bool:
+    """Return True for any DUP1..DUP16 byte."""
+    return 0x80 <= opcode <= 0x8F
+
+
+def is_swap(opcode: int) -> bool:
+    """Return True for any SWAP1..SWAP16 byte."""
+    return 0x90 <= opcode <= 0x9F
+
+
+def mnemonic(opcode: int) -> str:
+    """Human-readable name for an opcode byte (``UNKNOWN_xx`` if undefined)."""
+    info = OPCODE_INFO.get(opcode)
+    if info is None:
+        return f"UNKNOWN_{opcode:02x}"
+    return info.name

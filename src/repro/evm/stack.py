@@ -1,0 +1,67 @@
+"""The EVM operand stack with a parallel shadow (taint/distance) stack."""
+
+from __future__ import annotations
+
+from repro.evm.errors import StackOverflow, StackUnderflow
+from repro.evm.trace import EMPTY_SHADOW, Shadow
+
+STACK_LIMIT = 1024
+
+
+class Stack:
+    """A 256-bit word stack whose entries carry :class:`Shadow` metadata.
+
+    Values and shadows live in two parallel lists so the hot integer path
+    stays a plain ``list`` of ``int``.
+    """
+
+    __slots__ = ("values", "shadows")
+
+    def __init__(self) -> None:
+        self.values: list[int] = []
+        self.shadows: list[Shadow] = []
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def push(self, value: int, shadow: Shadow = EMPTY_SHADOW) -> None:
+        """Push ``value`` (already reduced mod 2**256) with its shadow."""
+        if len(self.values) >= STACK_LIMIT:
+            raise StackOverflow("stack limit of 1024 exceeded")
+        self.values.append(value)
+        self.shadows.append(shadow)
+
+    def pop(self) -> tuple[int, Shadow]:
+        """Pop and return ``(value, shadow)``."""
+        if not self.values:
+            raise StackUnderflow("pop from empty stack")
+        return self.values.pop(), self.shadows.pop()
+
+    def pop_value(self) -> int:
+        """Pop and return only the integer value (shadow discarded)."""
+        if not self.values:
+            raise StackUnderflow("pop from empty stack")
+        self.shadows.pop()
+        return self.values.pop()
+
+    def peek(self, depth: int = 0) -> int:
+        """Value ``depth`` items below the top (0 = top) without popping."""
+        if depth >= len(self.values):
+            raise StackUnderflow(f"peek({depth}) on stack of {len(self.values)}")
+        return self.values[-1 - depth]
+
+    def dup(self, n: int) -> None:
+        """DUPn: duplicate the n-th item (1 = top) onto the top."""
+        if n > len(self.values):
+            raise StackUnderflow(f"DUP{n} on stack of {len(self.values)}")
+        if len(self.values) >= STACK_LIMIT:
+            raise StackOverflow("stack limit of 1024 exceeded")
+        self.values.append(self.values[-n])
+        self.shadows.append(self.shadows[-n])
+
+    def swap(self, n: int) -> None:
+        """SWAPn: swap the top with the (n+1)-th item."""
+        if n + 1 > len(self.values):
+            raise StackUnderflow(f"SWAP{n} on stack of {len(self.values)}")
+        self.values[-1], self.values[-1 - n] = self.values[-1 - n], self.values[-1]
+        self.shadows[-1], self.shadows[-1 - n] = self.shadows[-1 - n], self.shadows[-1]

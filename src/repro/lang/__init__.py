@@ -1,0 +1,37 @@
+"""MiniSol: a Solidity-subset language for the MuFuzz reproduction.
+
+MiniSol covers the contract features the paper's benchmarks exercise:
+contracts with typed state variables (including mappings), payable functions,
+modifiers, require/assert, control flow, ether transfer primitives
+(``transfer`` / ``send`` / ``call.value`` / ``delegatecall`` /
+``selfdestruct``), and block/transaction context reads.  Source is parsed to
+a typed AST which both the compiler and the data-flow analysis consume.
+"""
+
+from repro.lang.errors import LexerError, MiniSolError, ParserError, TypeError_
+from repro.lang.tokens import Token, TokenKind
+from repro.lang.lexer import Lexer, tokenize
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import Parser, parse_source
+from repro.lang.types import Type, UINT, INT, BOOL, ADDRESS, BYTES32, mapping_of
+
+__all__ = [
+    "MiniSolError",
+    "LexerError",
+    "ParserError",
+    "TypeError_",
+    "Token",
+    "TokenKind",
+    "Lexer",
+    "tokenize",
+    "ast",
+    "Parser",
+    "parse_source",
+    "Type",
+    "UINT",
+    "INT",
+    "BOOL",
+    "ADDRESS",
+    "BYTES32",
+    "mapping_of",
+]

@@ -1,0 +1,26 @@
+"""MiniSol front-end errors, all carrying source positions."""
+
+from __future__ import annotations
+
+
+class MiniSolError(Exception):
+    """Base class for MiniSol front-end failures."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}:{column}: {message}"
+        super().__init__(message)
+
+
+class LexerError(MiniSolError):
+    """Invalid character or malformed literal."""
+
+
+class ParserError(MiniSolError):
+    """Token stream does not match the grammar."""
+
+
+class TypeError_(MiniSolError):
+    """Semantic check failed (undeclared name, bad operand type, ...)."""

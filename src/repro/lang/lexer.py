@@ -1,0 +1,126 @@
+"""The MiniSol lexer: source text → token stream."""
+
+from __future__ import annotations
+
+from repro.lang.errors import LexerError
+from repro.lang.tokens import KEYWORDS, MULTI_PUNCT, SINGLE_PUNCT, Token, TokenKind
+
+
+class Lexer:
+    """A single-pass lexer with line/column tracking."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokens(self) -> list[Token]:
+        """Lex the full source, ending with an EOF token."""
+        out: list[Token] = []
+        while True:
+            token = self._next_token()
+            out.append(token)
+            if token.kind == TokenKind.EOF:
+                return out
+
+    # -- internals -------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.source[i] if i < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source) and not (
+                        self._peek() == "*" and self._peek(1) == "/"):
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        line, column = self.line, self.column
+        ch = self._peek()
+        if not ch:
+            return Token(TokenKind.EOF, "", line, column)
+
+        if ch.isdigit():
+            return self._lex_number(line, column)
+
+        if ch.isalpha() or ch == "_":
+            return self._lex_word(line, column)
+
+        if ch == '"':
+            return self._lex_string(line, column)
+
+        for punct in MULTI_PUNCT:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCT, punct, line, column)
+
+        if ch in SINGLE_PUNCT:
+            self._advance()
+            return Token(TokenKind.PUNCT, ch, line, column)
+
+        raise LexerError(f"unexpected character {ch!r}", line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            text = self.source[start:self.pos]
+            if len(text) <= 2:
+                raise LexerError("malformed hex literal", line, column)
+            return Token(TokenKind.NUMBER, text, line, column, int(text, 16))
+        while self._peek().isdigit():
+            self._advance()
+        text = self.source[start:self.pos]
+        return Token(TokenKind.NUMBER, text, line, column, int(text))
+
+    def _lex_word(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start:self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, line, column)
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        start = self.pos
+        while self._peek() and self._peek() != '"':
+            if self._peek() == "\n":
+                raise LexerError("unterminated string", line, column)
+            self._advance()
+        if not self._peek():
+            raise LexerError("unterminated string", line, column)
+        text = self.source[start:self.pos]
+        self._advance()  # closing quote
+        return Token(TokenKind.STRING, text, line, column)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source).tokens()

@@ -1,0 +1,653 @@
+"""The MiniSol parser: token stream → AST.
+
+A hand-written recursive-descent parser with precedence-climbing expression
+parsing.  The grammar is the Solidity subset described in
+:mod:`repro.lang.__init__`; anything outside it raises
+:class:`~repro.lang.errors.ParserError` with a source position.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import ParserError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import Token, TokenKind
+from repro.lang.types import Type, elementary, is_type_keyword, mapping_of
+
+#: Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "+": 8, "-": 8,
+    "*": 9, "/": 9, "%": 9,
+}
+
+_UNIT_MULTIPLIERS = {
+    "wei": 1,
+    "szabo": 10 ** 12,
+    "finney": 10 ** 15,
+    "ether": 10 ** 18,
+}
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=")
+
+
+class _TransferExpr(ast.Expr):
+    """Parser-internal marker: ``x.transfer(amount)`` parsed in expression
+    position; converted to a Transfer statement at statement level."""
+
+    def __init__(self, target: ast.Expr, amount: ast.Expr, line: int) -> None:
+        super().__init__(line=line)
+        self.target = target
+        self.amount = amount
+
+
+class Parser:
+    """Parses one source text into a :class:`~repro.lang.ast_nodes.SourceUnit`."""
+
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def _error(self, message: str) -> ParserError:
+        token = self._peek()
+        return ParserError(f"{message} (found {token.text!r})",
+                           token.line, token.column)
+
+    def _expect_punct(self, text: str) -> Token:
+        token = self._peek()
+        if not token.is_punct(text):
+            raise self._error(f"expected {text!r}")
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(word):
+            raise self._error(f"expected keyword {word!r}")
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.kind != TokenKind.IDENT:
+            raise self._error("expected identifier")
+        return self._advance()
+
+    def _match_punct(self, text: str) -> bool:
+        if self._peek().is_punct(text):
+            self._advance()
+            return True
+        return False
+
+    def _match_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    # -- entry point --------------------------------------------------------------
+
+    def parse(self) -> ast.SourceUnit:
+        unit = ast.SourceUnit()
+        while self._peek().kind != TokenKind.EOF:
+            # Tolerate a pragma-style line: `pragma ...;`
+            if self._peek().kind == TokenKind.IDENT and self._peek().text == "pragma":
+                while not self._peek().is_punct(";"):
+                    if self._peek().kind == TokenKind.EOF:
+                        raise self._error("unterminated pragma")
+                    self._advance()
+                self._advance()
+                continue
+            unit.contracts.append(self._parse_contract())
+        if not unit.contracts:
+            raise ParserError("source contains no contract")
+        return unit
+
+    # -- contracts ------------------------------------------------------------------
+
+    def _parse_contract(self) -> ast.ContractDef:
+        start = self._expect_keyword("contract")
+        name = self._expect_ident().text
+        contract = ast.ContractDef(name=name, line=start.line)
+        self._expect_punct("{")
+        while not self._peek().is_punct("}"):
+            self._parse_member(contract)
+        self._expect_punct("}")
+        return contract
+
+    def _parse_member(self, contract: ast.ContractDef) -> None:
+        token = self._peek()
+        if token.is_keyword("function") or token.is_keyword("constructor"):
+            contract.functions.append(self._parse_function())
+        elif token.is_keyword("modifier"):
+            contract.modifiers.append(self._parse_modifier())
+        elif token.is_keyword("event"):
+            contract.events.append(self._parse_event())
+        elif token.kind == TokenKind.KEYWORD and is_type_keyword(token.text):
+            contract.state_vars.append(self._parse_state_var())
+        else:
+            raise self._error("expected contract member")
+
+    def _parse_type(self) -> Type:
+        token = self._peek()
+        if token.is_keyword("mapping"):
+            self._advance()
+            self._expect_punct("(")
+            key = self._parse_type()
+            self._expect_punct("=>")
+            value = self._parse_type()
+            self._expect_punct(")")
+            return mapping_of(key, value)
+        if token.kind == TokenKind.KEYWORD and is_type_keyword(token.text):
+            self._advance()
+            return elementary(token.text)
+        raise self._error("expected type")
+
+    def _parse_state_var(self) -> ast.StateVarDecl:
+        line = self._peek().line
+        var_type = self._parse_type()
+        visibility = "internal"
+        if self._peek().kind == TokenKind.KEYWORD and self._peek().text in (
+                "public", "private", "internal"):
+            visibility = self._advance().text
+        name = self._expect_ident().text
+        init = None
+        if self._match_punct("="):
+            init = self._parse_expression()
+        self._expect_punct(";")
+        return ast.StateVarDecl(var_type=var_type, name=name, init=init,
+                                line=line, visibility=visibility)
+
+    def _parse_event(self) -> ast.EventDef:
+        start = self._expect_keyword("event")
+        name = self._expect_ident().text
+        params = self._parse_params(allow_indexed=True)
+        self._expect_punct(";")
+        return ast.EventDef(name=name, params=params, line=start.line)
+
+    def _parse_modifier(self) -> ast.ModifierDef:
+        start = self._expect_keyword("modifier")
+        name = self._expect_ident().text
+        params = []
+        if self._peek().is_punct("("):
+            params = self._parse_params()
+        body = self._parse_block()
+        if not _contains_placeholder(body):
+            raise ParserError(f"modifier {name} has no `_;` placeholder",
+                              start.line, start.column)
+        return ast.ModifierDef(name=name, params=params, body=body,
+                               line=start.line)
+
+    def _parse_params(self, allow_indexed: bool = False) -> list:
+        self._expect_punct("(")
+        params: list[ast.Param] = []
+        while not self._peek().is_punct(")"):
+            if params:
+                self._expect_punct(",")
+            line = self._peek().line
+            param_type = self._parse_type()
+            if allow_indexed and self._peek().kind == TokenKind.IDENT \
+                    and self._peek().text == "indexed":
+                self._advance()
+            pname = self._expect_ident().text
+            params.append(ast.Param(param_type=param_type, name=pname,
+                                    line=line))
+        self._expect_punct(")")
+        return params
+
+    def _parse_function(self) -> ast.FunctionDef:
+        token = self._advance()  # 'function' or 'constructor'
+        is_constructor = token.is_keyword("constructor")
+        if is_constructor:
+            name = "constructor"
+        else:
+            name = self._expect_ident().text
+        params = self._parse_params()
+
+        visibility = "public"
+        payable = False
+        mutability = ""
+        modifiers: list[str] = []
+        returns: Type | None = None
+        while True:
+            nxt = self._peek()
+            if nxt.kind == TokenKind.KEYWORD and nxt.text in (
+                    "public", "private", "internal", "external"):
+                visibility = self._advance().text
+            elif nxt.is_keyword("payable"):
+                payable = True
+                self._advance()
+            elif nxt.kind == TokenKind.KEYWORD and nxt.text in ("view", "pure"):
+                mutability = self._advance().text
+            elif nxt.is_keyword("returns"):
+                self._advance()
+                self._expect_punct("(")
+                returns = self._parse_type()
+                # tolerate a name for the return value
+                if self._peek().kind == TokenKind.IDENT:
+                    self._advance()
+                self._expect_punct(")")
+            elif nxt.kind == TokenKind.IDENT and not nxt.is_punct("{"):
+                modifiers.append(self._advance().text)
+                if self._match_punct("("):
+                    self._expect_punct(")")
+            else:
+                break
+        body = self._parse_block()
+        return ast.FunctionDef(
+            name=name, params=params, returns=returns, visibility=visibility,
+            payable=payable, mutability=mutability, modifiers=modifiers,
+            body=body, is_constructor=is_constructor, line=token.line)
+
+    # -- statements ---------------------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        start = self._expect_punct("{")
+        statements: list[ast.Stmt] = []
+        while not self._peek().is_punct("}"):
+            if self._peek().kind == TokenKind.EOF:
+                raise self._error("unterminated block")
+            statements.append(self._parse_statement())
+        self._expect_punct("}")
+        return ast.Block(statements=statements, line=start.line)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+
+        if token.is_punct("{"):
+            return self._parse_block()
+        if token.text == "_" and token.kind in (TokenKind.IDENT,
+                                                TokenKind.PUNCT):
+            line = self._advance().line
+            self._expect_punct(";")
+            return ast.Placeholder(line=line)
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("require"):
+            return self._parse_require()
+        if token.is_keyword("assert"):
+            return self._parse_assert()
+        if token.is_keyword("revert"):
+            return self._parse_revert()
+        if token.is_keyword("return"):
+            return self._parse_return()
+        if token.is_keyword("emit"):
+            return self._parse_emit()
+        if token.is_keyword("selfdestruct"):
+            self._advance()
+            self._expect_punct("(")
+            beneficiary = self._parse_expression()
+            self._expect_punct(")")
+            self._expect_punct(";")
+            return ast.SelfDestructStmt(beneficiary=beneficiary,
+                                        line=token.line)
+        if token.kind == TokenKind.KEYWORD and is_type_keyword(token.text) \
+                and not self._peek(1).is_punct("("):
+            return self._parse_local_decl()
+
+        stmt = self._parse_simple_statement()
+        self._expect_punct(";")
+        return stmt
+
+    def _parse_local_decl(self) -> ast.VarDecl:
+        line = self._peek().line
+        var_type = self._parse_type()
+        if var_type.is_mapping:
+            raise ParserError("mapping locals are not supported", line, 0)
+        name = self._expect_ident().text
+        init = None
+        if self._match_punct("="):
+            init = self._parse_expression()
+        self._expect_punct(";")
+        return ast.VarDecl(var_type=var_type, name=name, init=init, line=line)
+
+    def _parse_simple_statement(self) -> ast.Stmt:
+        """An assignment / increment / expression, without the ';'."""
+        line = self._peek().line
+        expr = self._parse_expression()
+
+        nxt = self._peek()
+        if nxt.kind == TokenKind.PUNCT and nxt.text in _ASSIGN_OPS:
+            if not isinstance(expr, (ast.Ident, ast.Index)):
+                raise self._error("invalid assignment target")
+            op = self._advance().text
+            value = self._parse_expression()
+            return ast.Assign(target=expr, op=op, value=value, line=line)
+        if nxt.is_punct("++") or nxt.is_punct("--"):
+            if not isinstance(expr, (ast.Ident, ast.Index)):
+                raise self._error("invalid increment target")
+            op = "+=" if self._advance().text == "++" else "-="
+            return ast.Assign(target=expr, op=op,
+                              value=ast.IntLit(value=1, line=line), line=line)
+        if isinstance(expr, _TransferExpr):
+            return ast.Transfer(target=expr.target, amount=expr.amount,
+                                line=expr.line)
+        return ast.ExprStmt(expr=expr, line=line)
+
+    def _parse_if(self) -> ast.If:
+        start = self._expect_keyword("if")
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        then = self._parse_statement()
+        otherwise = None
+        if self._match_keyword("else"):
+            otherwise = self._parse_statement()
+        return ast.If(cond=cond, then=then, otherwise=otherwise,
+                      line=start.line)
+
+    def _parse_while(self) -> ast.While:
+        start = self._expect_keyword("while")
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        return ast.While(cond=cond, body=body, line=start.line)
+
+    def _parse_for(self) -> ast.For:
+        start = self._expect_keyword("for")
+        self._expect_punct("(")
+        init: ast.Stmt | None = None
+        if not self._peek().is_punct(";"):
+            if self._peek().kind == TokenKind.KEYWORD and \
+                    is_type_keyword(self._peek().text):
+                init = self._parse_local_decl()  # consumes its ';'
+            else:
+                init = self._parse_simple_statement()
+                self._expect_punct(";")
+        else:
+            self._advance()
+        cond: ast.Expr | None = None
+        if not self._peek().is_punct(";"):
+            cond = self._parse_expression()
+        self._expect_punct(";")
+        update: ast.Stmt | None = None
+        if not self._peek().is_punct(")"):
+            update = self._parse_simple_statement()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        return ast.For(init=init, cond=cond, update=update, body=body,
+                       line=start.line)
+
+    def _parse_require(self) -> ast.Require:
+        start = self._expect_keyword("require")
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        message = ""
+        if self._match_punct(","):
+            token = self._peek()
+            if token.kind != TokenKind.STRING:
+                raise self._error("require message must be a string literal")
+            message = self._advance().text
+        self._expect_punct(")")
+        self._expect_punct(";")
+        return ast.Require(cond=cond, message=message, line=start.line)
+
+    def _parse_assert(self) -> ast.AssertStmt:
+        start = self._expect_keyword("assert")
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        self._expect_punct(";")
+        return ast.AssertStmt(cond=cond, line=start.line)
+
+    def _parse_revert(self) -> ast.RevertStmt:
+        start = self._expect_keyword("revert")
+        message = ""
+        if self._match_punct("("):
+            if self._peek().kind == TokenKind.STRING:
+                message = self._advance().text
+            self._expect_punct(")")
+        self._expect_punct(";")
+        return ast.RevertStmt(message=message, line=start.line)
+
+    def _parse_return(self) -> ast.Return:
+        start = self._expect_keyword("return")
+        value = None
+        if not self._peek().is_punct(";"):
+            value = self._parse_expression()
+        self._expect_punct(";")
+        return ast.Return(value=value, line=start.line)
+
+    def _parse_emit(self) -> ast.Emit:
+        start = self._expect_keyword("emit")
+        name = self._expect_ident().text
+        self._expect_punct("(")
+        args: list[ast.Expr] = []
+        while not self._peek().is_punct(")"):
+            if args:
+                self._expect_punct(",")
+            args.append(self._parse_expression())
+        self._expect_punct(")")
+        self._expect_punct(";")
+        return ast.Emit(name=name, args=args, line=start.line)
+
+    # -- expressions -----------------------------------------------------------------------
+
+    def _parse_expression(self, min_prec: int = 1) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind != TokenKind.PUNCT:
+                return left
+            prec = _PRECEDENCE.get(token.text)
+            if prec is None or prec < min_prec:
+                return left
+            op = self._advance().text
+            right = self._parse_expression(prec + 1)
+            left = ast.Binary(op=op, left=left, right=right, line=token.line)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.is_punct("!") or token.is_punct("-"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Unary(op=token.text, operand=operand, line=token.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.is_punct("."):
+                expr = self._parse_member_access(expr)
+            elif token.is_punct("[") and isinstance(expr, ast.Ident):
+                self._advance()
+                key = self._parse_expression()
+                self._expect_punct("]")
+                expr = ast.Index(base=expr.name, key=key, line=token.line)
+            elif token.is_punct("(") and isinstance(expr, ast.Ident):
+                args = self._parse_call_args()
+                expr = ast.InternalCall(name=expr.name, args=args,
+                                        line=token.line)
+            else:
+                return expr
+
+    def _parse_call_args(self) -> list:
+        self._expect_punct("(")
+        args: list[ast.Expr] = []
+        while not self._peek().is_punct(")"):
+            if args:
+                self._expect_punct(",")
+            args.append(self._parse_expression())
+        self._expect_punct(")")
+        return args
+
+    def _parse_member_access(self, base: ast.Expr) -> ast.Expr:
+        dot = self._expect_punct(".")
+        token = self._peek()
+        name = token.text
+        if token.kind not in (TokenKind.IDENT, TokenKind.KEYWORD):
+            raise self._error("expected member name")
+        self._advance()
+
+        if name in ("encodePacked", "encode") and isinstance(base, ast.Ident) \
+                and base.name == "abi":
+            args = self._parse_call_args()
+            return ast.InternalCall(name="encodePacked", args=args,
+                                    line=dot.line)
+        if name == "balance":
+            if isinstance(base, ast.EnvRead) and base.what == "this":
+                return ast.EnvRead(what="this.balance", line=dot.line)
+            return ast.BalanceOf(target=base, line=dot.line)
+        if name == "transfer":
+            self._expect_punct("(")
+            amount = self._parse_expression()
+            self._expect_punct(")")
+            return _TransferExpr(base, amount, dot.line)
+        if name == "send":
+            self._expect_punct("(")
+            amount = self._parse_expression()
+            self._expect_punct(")")
+            return ast.Send(target=base, amount=amount, line=dot.line)
+        if name == "call":
+            # .call.value(amount)()   [optionally with empty final parens]
+            self._expect_punct(".")
+            value_kw = self._peek()
+            if value_kw.text != "value":
+                raise self._error("expected `.call.value(...)`")
+            self._advance()
+            self._expect_punct("(")
+            amount = self._parse_expression()
+            self._expect_punct(")")
+            if self._match_punct("("):
+                self._expect_punct(")")
+            return ast.CallValue(target=base, amount=amount, line=dot.line)
+        if name == "delegatecall":
+            self._expect_punct("(")
+            data = self._parse_expression()
+            self._expect_punct(")")
+            return ast.Delegatecall(target=base, data=data, line=dot.line)
+        raise ParserError(f"unknown member {name!r}", dot.line, dot.column)
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+
+        if token.kind == TokenKind.NUMBER:
+            self._advance()
+            value = token.value or 0
+            nxt = self._peek()
+            if nxt.kind == TokenKind.KEYWORD and nxt.text in _UNIT_MULTIPLIERS:
+                self._advance()
+                value *= _UNIT_MULTIPLIERS[nxt.text]
+            return ast.IntLit(value=value, line=token.line)
+
+        if token.kind == TokenKind.STRING:
+            self._advance()
+            return ast.StringLit(value=token.text, line=token.line)
+
+        if token.is_keyword("true") or token.is_keyword("false"):
+            self._advance()
+            return ast.BoolLit(value=token.text == "true", line=token.line)
+
+        if token.is_keyword("msg"):
+            self._advance()
+            self._expect_punct(".")
+            member = self._advance().text
+            if member == "sender":
+                return ast.EnvRead(what="msg.sender", line=token.line)
+            if member == "value":
+                return ast.EnvRead(what="msg.value", line=token.line)
+            raise ParserError(f"unknown msg member {member!r}",
+                              token.line, token.column)
+
+        if token.is_keyword("block"):
+            self._advance()
+            self._expect_punct(".")
+            member = self._advance().text
+            if member in ("timestamp", "number", "coinbase", "difficulty"):
+                return ast.EnvRead(what=f"block.{member}", line=token.line)
+            raise ParserError(f"unknown block member {member!r}",
+                              token.line, token.column)
+
+        if token.is_keyword("tx"):
+            self._advance()
+            self._expect_punct(".")
+            member = self._advance().text
+            if member == "origin":
+                return ast.EnvRead(what="tx.origin", line=token.line)
+            raise ParserError(f"unknown tx member {member!r}",
+                              token.line, token.column)
+
+        if token.is_keyword("now"):
+            self._advance()
+            return ast.EnvRead(what="block.timestamp", line=token.line)
+
+        if token.is_keyword("this"):
+            self._advance()
+            return ast.EnvRead(what="this", line=token.line)
+
+        if token.is_keyword("keccak256"):
+            self._advance()
+            args = self._parse_call_args()
+            return ast.Keccak(args=_flatten_abi_encode(args), line=token.line)
+
+        if token.kind == TokenKind.KEYWORD and is_type_keyword(token.text):
+            # Type cast: address(x), uint(x), ... — a no-op on words.
+            self._advance()
+            self._expect_punct("(")
+            inner = self._parse_expression()
+            self._expect_punct(")")
+            return inner
+
+        if token.kind == TokenKind.IDENT:
+            self._advance()
+            return ast.Ident(name=token.text, line=token.line)
+
+        if token.is_punct("("):
+            self._advance()
+            expr = self._parse_expression()
+            self._expect_punct(")")
+            return expr
+
+        raise self._error("expected expression")
+
+
+def _flatten_abi_encode(args: list) -> list:
+    """Unwrap ``abi.encodePacked``-style nesting: keccak256 of an internal
+    call named ``encodePacked``/``abi`` is treated as keccak of its args."""
+    out: list[ast.Expr] = []
+    for arg in args:
+        if isinstance(arg, ast.InternalCall) and arg.name in (
+                "encodePacked", "encode"):
+            out.extend(arg.args)
+        else:
+            out.append(arg)
+    return out
+
+
+def _contains_placeholder(stmt: ast.Stmt) -> bool:
+    if isinstance(stmt, ast.Placeholder):
+        return True
+    if isinstance(stmt, ast.Block):
+        return any(_contains_placeholder(s) for s in stmt.statements)
+    if isinstance(stmt, ast.If):
+        if _contains_placeholder(stmt.then):
+            return True
+        return stmt.otherwise is not None and _contains_placeholder(stmt.otherwise)
+    return False
+
+
+def parse_source(source: str) -> ast.SourceUnit:
+    """Parse MiniSol ``source`` into a :class:`SourceUnit`."""
+    return Parser(source).parse()

@@ -1,0 +1,57 @@
+"""Token definitions for the MiniSol lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenKind(Enum):
+    """Lexical token categories."""
+
+    IDENT = auto()
+    NUMBER = auto()
+    STRING = auto()
+    KEYWORD = auto()
+    PUNCT = auto()
+    EOF = auto()
+
+
+#: Reserved words. Anything else alphanumeric is an IDENT.
+KEYWORDS = frozenset({
+    "contract", "function", "constructor", "modifier", "event", "emit",
+    "mapping", "returns", "return", "if", "else", "while", "for",
+    "require", "assert", "revert", "true", "false",
+    "public", "private", "internal", "external", "payable", "view", "pure",
+    "uint", "uint256", "int", "int256", "bool", "address", "bytes32",
+    "msg", "block", "tx", "this", "now",
+    "ether", "finney", "szabo", "wei",
+    "selfdestruct", "keccak256",
+})
+
+#: Multi-character punctuation, longest first so the lexer is greedy.
+MULTI_PUNCT = (
+    "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "++", "--",
+)
+
+SINGLE_PUNCT = frozenset("+-*/%<>=!;,(){}[].&|^~_")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+    value: int | None = None  # numeric value for NUMBER tokens
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == TokenKind.KEYWORD and self.text == word
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == TokenKind.PUNCT and self.text == text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, L{self.line})"

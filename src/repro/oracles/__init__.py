@@ -1,0 +1,39 @@
+"""Bug oracles for the nine vulnerability classes of the paper (§IV-D).
+
+Each oracle observes transaction receipts (their semantic traces) during a
+fuzzing campaign and reports :class:`Finding` records.  The detection logic
+follows §IV-D: taint-based checks for block dependency, strict ether
+equality, and tx.origin; trace-structure checks for reentrancy, unhandled
+exceptions, and unprotected delegatecall/selfdestruct; arithmetic truncation
+for integer overflow; and a static+dynamic combination for ether freezing.
+"""
+
+from repro.oracles.base import BugClass, Finding, Oracle, OracleContext
+from repro.oracles.block_dep import BlockDependencyOracle
+from repro.oracles.delegatecall import UnprotectedDelegatecallOracle
+from repro.oracles.ether_freeze import EtherFreezeOracle
+from repro.oracles.overflow import IntegerOverflowOracle
+from repro.oracles.reentrancy import ReentrancyOracle
+from repro.oracles.selfdestruct import UnprotectedSelfDestructOracle
+from repro.oracles.strict_equality import StrictEqualityOracle
+from repro.oracles.tx_origin import TxOriginOracle
+from repro.oracles.unhandled_exception import UnhandledExceptionOracle
+from repro.oracles.registry import all_oracles, oracle_for
+
+__all__ = [
+    "BugClass",
+    "Finding",
+    "Oracle",
+    "OracleContext",
+    "BlockDependencyOracle",
+    "UnprotectedDelegatecallOracle",
+    "EtherFreezeOracle",
+    "IntegerOverflowOracle",
+    "ReentrancyOracle",
+    "UnprotectedSelfDestructOracle",
+    "StrictEqualityOracle",
+    "TxOriginOracle",
+    "UnhandledExceptionOracle",
+    "all_oracles",
+    "oracle_for",
+]

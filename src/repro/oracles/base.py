@@ -1,0 +1,106 @@
+"""Oracle infrastructure: bug classes, findings, and the oracle protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.chain.transactions import TransactionReceipt
+from repro.compiler.artifacts import CompiledContract
+
+
+class BugClass(str, Enum):
+    """The paper's nine bug classes (Table I abbreviations)."""
+
+    BD = "BD"  # block dependency
+    UD = "UD"  # unprotected delegatecall
+    EF = "EF"  # ether freezing
+    IO = "IO"  # integer over-/under-flow
+    RE = "RE"  # reentrancy
+    US = "US"  # unprotected selfdestruct
+    SE = "SE"  # strict ether equality
+    TO = "TO"  # transaction origin use
+    UE = "UE"  # unhandled exception
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+ALL_BUG_CLASSES = tuple(BugClass)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reported vulnerability."""
+
+    bug_class: BugClass
+    contract: str
+    pc: int
+    line: int
+    description: str
+
+    @property
+    def key(self) -> tuple:
+        """Deduplication key: one finding per (class, pc)."""
+        return (self.bug_class, self.pc)
+
+
+@dataclass
+class OracleContext:
+    """Everything oracles may consult about the contract under test."""
+
+    artifact: CompiledContract
+    address: int
+    deployer: int
+    attacker_addresses: frozenset = frozenset()
+
+    def line_of(self, pc: int) -> int:
+        return self.artifact.srcmap.get(pc, 0)
+
+
+class Oracle:
+    """Base oracle: override ``on_receipt`` and/or ``finalize``.
+
+    ``on_receipt`` is invoked for every executed transaction during a
+    campaign; ``finalize`` once at the end (for whole-campaign properties
+    such as ether freezing).  Both return iterables of :class:`Finding`.
+    """
+
+    bug_class: BugClass
+
+    def on_receipt(self, receipt: TransactionReceipt,
+                   ctx: OracleContext):
+        return ()
+
+    def finalize(self, ctx: OracleContext):
+        return ()
+
+
+@dataclass
+class FindingCollector:
+    """Deduplicating sink for findings during a campaign."""
+
+    findings: dict = field(default_factory=dict)
+
+    def add(self, finding: Finding) -> bool:
+        """Record ``finding``; True if it was new."""
+        if finding.key in self.findings:
+            return False
+        self.findings[finding.key] = finding
+        return True
+
+    def extend(self, findings) -> int:
+        return sum(1 for f in findings if self.add(f))
+
+    def all(self) -> list:
+        return sorted(self.findings.values(),
+                      key=lambda f: (f.bug_class.value, f.pc))
+
+    def by_class(self) -> dict:
+        out: dict = {}
+        for finding in self.findings.values():
+            out.setdefault(finding.bug_class, []).append(finding)
+        return out
+
+    def classes(self) -> set:
+        return {f.bug_class for f in self.findings.values()}

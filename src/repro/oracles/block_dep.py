@@ -1,0 +1,45 @@
+"""Block dependency oracle (BD).
+
+§IV-D: the trace contains a block-state instruction (TIMESTAMP, NUMBER, ...)
+whose value *contaminates* a CALL, a JUMPI, or a comparison.  Taint tags do
+the contamination tracking; this oracle just inspects tainted events.
+"""
+
+from __future__ import annotations
+
+from repro.evm.trace import Taint
+from repro.oracles.base import BugClass, Finding, Oracle, OracleContext
+
+
+class BlockDependencyOracle(Oracle):
+    bug_class = BugClass.BD
+
+    def on_receipt(self, receipt, ctx: OracleContext):
+        # NB: no short-circuit on trace.block_reads — block-state taint can
+        # arrive through storage written by an *earlier* transaction.
+        trace = receipt.trace
+        for event in trace.branches:
+            if event.address != ctx.address:
+                continue
+            if Taint.BLOCK in event.taints:
+                yield Finding(
+                    bug_class=self.bug_class,
+                    contract=ctx.artifact.name,
+                    pc=event.pc,
+                    line=ctx.line_of(event.pc),
+                    description="block state (timestamp/number) influences a "
+                                "conditional jump",
+                )
+        for event in trace.calls:
+            if event.address != ctx.address:
+                continue
+            if Taint.BLOCK in event.value_taints or \
+                    Taint.BLOCK in event.target_taints:
+                yield Finding(
+                    bug_class=self.bug_class,
+                    contract=ctx.artifact.name,
+                    pc=event.pc,
+                    line=ctx.line_of(event.pc),
+                    description="block state flows into the value/target of "
+                                "an external call",
+                )

@@ -1,0 +1,31 @@
+"""Unprotected delegatecall oracle (UD).
+
+§IV-D: the trace contains a DELEGATECALL; the enclosing function carries no
+modifier-style caller guard; and the delegatecall's target is influenced by
+function arguments (calldata taint) — i.e. an attacker chooses the code that
+runs with the victim's storage.
+"""
+
+from __future__ import annotations
+
+from repro.evm.trace import Taint
+from repro.oracles.base import BugClass, Finding, Oracle, OracleContext
+
+
+class UnprotectedDelegatecallOracle(Oracle):
+    bug_class = BugClass.UD
+
+    def on_receipt(self, receipt, ctx: OracleContext):
+        for event in receipt.trace.calls:
+            if event.kind != "delegatecall" or event.address != ctx.address:
+                continue
+            attacker_controlled = Taint.CALLDATA in event.target_taints
+            if attacker_controlled and not event.guarded:
+                yield Finding(
+                    bug_class=self.bug_class,
+                    contract=ctx.artifact.name,
+                    pc=event.pc,
+                    line=ctx.line_of(event.pc),
+                    description="delegatecall target comes from calldata and "
+                                "the function has no caller guard",
+                )

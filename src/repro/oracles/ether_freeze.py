@@ -1,0 +1,47 @@
+"""Ether freezing oracle (EF).
+
+ContractFuzzer-style (§IV-D "we implement the same bug oracles as ...
+ContractFuzzer (e.g., EF)"): the contract *received* ether during the
+campaign, yet its runtime bytecode contains no instruction that can ever
+send ether out (CALL, DELEGATECALL, SELFDESTRUCT) — funds are frozen.
+
+This is a whole-campaign property, so the check runs in ``finalize``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.disassembler import disassemble
+from repro.evm.opcodes import Op
+from repro.oracles.base import BugClass, Finding, Oracle, OracleContext
+
+_SEND_OPS = frozenset({Op.CALL, Op.DELEGATECALL, Op.SELFDESTRUCT})
+
+
+class EtherFreezeOracle(Oracle):
+    bug_class = BugClass.EF
+
+    def __init__(self) -> None:
+        self._received = False
+
+    def on_receipt(self, receipt, ctx: OracleContext):
+        if not receipt.success:
+            return ()
+        if receipt.trace.ether_received.get(ctx.address, 0) > 0:
+            self._received = True
+        return ()
+
+    def finalize(self, ctx: OracleContext):
+        if not self._received:
+            return
+        opcodes_present = {ins.opcode
+                           for ins in disassemble(ctx.artifact.runtime_code)}
+        if opcodes_present & _SEND_OPS:
+            return
+        yield Finding(
+            bug_class=self.bug_class,
+            contract=ctx.artifact.name,
+            pc=0,
+            line=ctx.artifact.contract_ast.line,
+            description="contract accepts ether but has no instruction that "
+                        "can send it out (funds frozen)",
+        )

@@ -1,0 +1,33 @@
+"""Integer over-/under-flow oracle (IO).
+
+§IV-D: an ADD/MUL/SUB whose mathematical result was truncated mod 2**256 by
+the EVM.  The machine records every truncation as an
+:class:`~repro.evm.trace.OverflowEvent`; the oracle reports those that occur
+in *successful* transactions (a reverted overflow — the SafeMath guard
+pattern — never corrupts persistent state, matching how ConFuzzius and
+Smartian count IO bugs).
+"""
+
+from __future__ import annotations
+
+from repro.oracles.base import BugClass, Finding, Oracle, OracleContext
+
+
+class IntegerOverflowOracle(Oracle):
+    bug_class = BugClass.IO
+
+    def on_receipt(self, receipt, ctx: OracleContext):
+        if not receipt.success:
+            return
+        for event in receipt.trace.overflows:
+            if event.address != ctx.address:
+                continue
+            yield Finding(
+                bug_class=self.bug_class,
+                contract=ctx.artifact.name,
+                pc=event.pc,
+                line=ctx.line_of(event.pc),
+                description=f"{event.op_name} truncated: "
+                            f"{event.lhs} {event.op_name} {event.rhs} "
+                            f"wrapped to {event.result}",
+            )

@@ -1,0 +1,38 @@
+"""Reentrancy oracle (RE).
+
+§IV-D: the trace contains a CALL forwarding more than the 2300-gas stipend
+(a ``call.value`` invocation) with a positive value, and the contract under
+test is *re-entered* during that same transaction — the reentrant frame is
+observable because the machine flags calls whose target is already on the
+active call stack.
+"""
+
+from __future__ import annotations
+
+from repro.evm.machine import CALL_STIPEND
+from repro.oracles.base import BugClass, Finding, Oracle, OracleContext
+
+
+class ReentrancyOracle(Oracle):
+    bug_class = BugClass.RE
+
+    def on_receipt(self, receipt, ctx: OracleContext):
+        trace = receipt.trace
+        reentered = any(
+            event.reentrant and event.target == ctx.address
+            for event in trace.calls)
+        if not reentered:
+            return
+        for event in trace.calls:
+            if (event.address == ctx.address
+                    and event.kind == "call"
+                    and event.value > 0
+                    and event.gas > CALL_STIPEND):
+                yield Finding(
+                    bug_class=self.bug_class,
+                    contract=ctx.artifact.name,
+                    pc=event.pc,
+                    line=ctx.line_of(event.pc),
+                    description="call.value with forwarded gas allowed the "
+                                "callee to re-enter the contract",
+                )

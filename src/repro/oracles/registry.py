@@ -1,0 +1,38 @@
+"""Oracle registry: fresh oracle instances per campaign."""
+
+from __future__ import annotations
+
+from repro.oracles.base import BugClass, Oracle
+from repro.oracles.block_dep import BlockDependencyOracle
+from repro.oracles.delegatecall import UnprotectedDelegatecallOracle
+from repro.oracles.ether_freeze import EtherFreezeOracle
+from repro.oracles.overflow import IntegerOverflowOracle
+from repro.oracles.reentrancy import ReentrancyOracle
+from repro.oracles.selfdestruct import UnprotectedSelfDestructOracle
+from repro.oracles.strict_equality import StrictEqualityOracle
+from repro.oracles.tx_origin import TxOriginOracle
+from repro.oracles.unhandled_exception import UnhandledExceptionOracle
+
+_ORACLE_TYPES = {
+    BugClass.BD: BlockDependencyOracle,
+    BugClass.UD: UnprotectedDelegatecallOracle,
+    BugClass.EF: EtherFreezeOracle,
+    BugClass.IO: IntegerOverflowOracle,
+    BugClass.RE: ReentrancyOracle,
+    BugClass.US: UnprotectedSelfDestructOracle,
+    BugClass.SE: StrictEqualityOracle,
+    BugClass.TO: TxOriginOracle,
+    BugClass.UE: UnhandledExceptionOracle,
+}
+
+
+def all_oracles(supported=None) -> list:
+    """Fresh instances of every oracle (optionally restricted to a subset of
+    :class:`BugClass` — used to model tools that support fewer classes)."""
+    classes = supported if supported is not None else _ORACLE_TYPES.keys()
+    return [_ORACLE_TYPES[bc]() for bc in classes]
+
+
+def oracle_for(bug_class: BugClass) -> Oracle:
+    """A fresh oracle instance for one bug class."""
+    return _ORACLE_TYPES[bug_class]()

@@ -1,0 +1,32 @@
+"""Unprotected selfdestruct oracle (US).
+
+ConFuzzius-style (§IV-D): SELFDESTRUCT executed in a transaction whose
+sender is *not* the contract's deployer, or with no caller guard at all —
+an arbitrary account can destroy the contract and redirect its balance.
+"""
+
+from __future__ import annotations
+
+from repro.oracles.base import BugClass, Finding, Oracle, OracleContext
+
+
+class UnprotectedSelfDestructOracle(Oracle):
+    bug_class = BugClass.US
+
+    def on_receipt(self, receipt, ctx: OracleContext):
+        if not receipt.success:
+            return
+        for event in receipt.trace.selfdestructs:
+            if event.address != ctx.address:
+                continue
+            unprotected = (event.caller != ctx.deployer
+                           or not event.guarded_by_caller_check)
+            if unprotected:
+                yield Finding(
+                    bug_class=self.bug_class,
+                    contract=ctx.artifact.name,
+                    pc=event.pc,
+                    line=ctx.line_of(event.pc),
+                    description=f"selfdestruct executed by non-owner "
+                                f"{event.caller:#x}",
+                )

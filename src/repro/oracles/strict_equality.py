@@ -1,0 +1,29 @@
+"""Strict ether equality oracle (SE).
+
+§IV-D: a BALANCE read feeds an equality comparison that guards control flow.
+Because an attacker can always skew a contract's balance by self-destructing
+ether into it, ``==`` on balances is a denial-of-service bug.
+"""
+
+from __future__ import annotations
+
+from repro.evm.trace import Taint
+from repro.oracles.base import BugClass, Finding, Oracle, OracleContext
+
+
+class StrictEqualityOracle(Oracle):
+    bug_class = BugClass.SE
+
+    def on_receipt(self, receipt, ctx: OracleContext):
+        for event in receipt.trace.compares:
+            if event.address != ctx.address:
+                continue
+            if event.op_name == "EQ" and Taint.BALANCE in event.taints:
+                yield Finding(
+                    bug_class=self.bug_class,
+                    contract=ctx.artifact.name,
+                    pc=event.pc,
+                    line=ctx.line_of(event.pc),
+                    description="contract balance used in a strict equality "
+                                "comparison",
+                )

@@ -1,0 +1,28 @@
+"""Transaction-origin oracle (TO).
+
+Smartian-style (§IV-D): ``tx.origin`` feeds a comparison or a conditional
+jump — the phishing-prone authentication pattern (origin survives through
+intermediate contracts, unlike msg.sender).
+"""
+
+from __future__ import annotations
+
+from repro.evm.trace import Taint
+from repro.oracles.base import BugClass, Finding, Oracle, OracleContext
+
+
+class TxOriginOracle(Oracle):
+    bug_class = BugClass.TO
+
+    def on_receipt(self, receipt, ctx: OracleContext):
+        for event in receipt.trace.compares:
+            if event.address != ctx.address:
+                continue
+            if Taint.ORIGIN in event.taints:
+                yield Finding(
+                    bug_class=self.bug_class,
+                    contract=ctx.artifact.name,
+                    pc=event.pc,
+                    line=ctx.line_of(event.pc),
+                    description="tx.origin used for authentication",
+                )

@@ -1,0 +1,31 @@
+"""Unhandled exception oracle (UE).
+
+§IV-D: an external call failed (the callee reverted, ran out of gas, or hit
+INVALID) and the caller never routed the success flag into a conditional
+jump — the classic unchecked ``send``.  The machine taints every call's
+success flag and marks the call *checked* when that taint reaches a JUMPI,
+so the oracle only needs to look for failed-and-unchecked calls.
+"""
+
+from __future__ import annotations
+
+from repro.oracles.base import BugClass, Finding, Oracle, OracleContext
+
+
+class UnhandledExceptionOracle(Oracle):
+    bug_class = BugClass.UE
+
+    def on_receipt(self, receipt, ctx: OracleContext):
+        for event in receipt.trace.calls:
+            if event.address != ctx.address or event.kind != "call":
+                continue
+            if not event.success and not event.checked:
+                yield Finding(
+                    bug_class=self.bug_class,
+                    contract=ctx.artifact.name,
+                    pc=event.pc,
+                    line=ctx.line_of(event.pc),
+                    description=f"external call failed "
+                                f"({event.callee_error or 'reverted'}) and "
+                                "its return value was never checked",
+                )

@@ -1,0 +1,18 @@
+"""Result aggregation and paper-style table rendering."""
+
+from repro.reporting.results import (
+    BugDetectionCell,
+    aggregate_fuzzer_detection,
+    aggregate_static_detection,
+    score_against_ground_truth,
+)
+from repro.reporting.tables import format_table, format_percentage_bars
+
+__all__ = [
+    "BugDetectionCell",
+    "aggregate_fuzzer_detection",
+    "aggregate_static_detection",
+    "score_against_ground_truth",
+    "format_table",
+    "format_percentage_bars",
+]

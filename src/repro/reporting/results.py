@@ -1,0 +1,102 @@
+"""Scoring detection results against corpus ground truth (Table III/IV)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.oracles.base import ALL_BUG_CLASSES, BugClass
+
+
+@dataclass
+class BugDetectionCell:
+    """One Table III cell: TP / FN / timeout-or-error counts."""
+
+    tp: int = 0
+    fn: int = 0
+    failed: int = 0
+    supported: bool = True
+
+    def __str__(self) -> str:
+        if not self.supported:
+            return "n/a"
+        return f"{self.tp} / {self.fn} / {self.failed}"
+
+
+def score_against_ground_truth(contract, found: set,
+                               count_lookalikes: bool = False) -> tuple:
+    """Split a tool's per-contract findings into (tps, fns, fps) class sets.
+
+    Findings matching ``benign_lookalikes`` are not counted as false
+    positives unless ``count_lookalikes`` (Table IV counts them)."""
+    expected = contract.expected_bugs
+    tps = found & expected
+    fns = expected - found
+    fps = found - expected
+    if not count_lookalikes:
+        fps -= contract.benign_lookalikes
+    return tps, fns, fps
+
+
+def aggregate_fuzzer_detection(corpus, results, supported=None) -> dict:
+    """Table III row for a fuzzer: {BugClass: BugDetectionCell}.
+
+    ``results`` maps contract name → CampaignResult.  ``supported``
+    restricts the classes the tool can detect (Table I row)."""
+    supported = set(supported) if supported is not None else set(
+        ALL_BUG_CLASSES)
+    cells = {bc: BugDetectionCell(supported=bc in supported)
+             for bc in ALL_BUG_CLASSES}
+    for contract in corpus:
+        result = results.get(contract.name)
+        found = result.bug_classes if result is not None else set()
+        for bc in contract.expected_bugs:
+            if bc not in supported:
+                continue
+            if bc in found:
+                cells[bc].tp += 1
+            else:
+                cells[bc].fn += 1
+    return cells
+
+
+def aggregate_static_detection(corpus, results) -> dict:
+    """Table III row for a static tool: {BugClass: BugDetectionCell}.
+
+    ``results`` maps contract name → StaticAnalysisResult; timeout/error
+    contracts count in the ``failed`` column for each of their annotated
+    classes (the paper's timeout-or-error cases)."""
+    cells: dict = {bc: BugDetectionCell() for bc in ALL_BUG_CLASSES}
+    supported: set = set()
+    for contract in corpus:
+        result = results.get(contract.name)
+        if result is None:
+            continue
+        supported |= set(getattr(result, "findings", set()))
+    for contract in corpus:
+        result = results[contract.name]
+        for bc in contract.expected_bugs:
+            if not result.ok:
+                cells[bc].failed += 1
+            elif bc in result.findings:
+                cells[bc].tp += 1
+            else:
+                cells[bc].fn += 1
+    return cells
+
+
+def mark_unsupported(cells: dict, supported) -> dict:
+    """Set the ``supported`` flag on cells from a tool capability set."""
+    for bc, cell in cells.items():
+        cell.supported = bc in set(supported)
+    return cells
+
+
+def totals(cells: dict) -> BugDetectionCell:
+    """Sum the supported cells of one tool row."""
+    out = BugDetectionCell()
+    for cell in cells.values():
+        if cell.supported:
+            out.tp += cell.tp
+            out.fn += cell.fn
+            out.failed += cell.failed
+    return out

@@ -1,0 +1,78 @@
+"""Plain-text table rendering for the benchmark harness output."""
+
+from __future__ import annotations
+
+
+def format_table(headers, rows, title: str = "") -> str:
+    """Render a fixed-width table.
+
+    ``rows`` is a list of sequences; every cell is str()-ed.  Column widths
+    adapt to content.
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells) -> str:
+        return " | ".join(str(c).ljust(widths[i])
+                          for i, c in enumerate(cells))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(sep))
+    out.append(line(headers))
+    out.append(sep)
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_percentage_bars(entries, width: int = 40, title: str = "") -> str:
+    """ASCII bar chart for (label, fraction) pairs — used for the coverage
+    figures' textual rendering."""
+    out = []
+    if title:
+        out.append(title)
+    max_label = max((len(label) for label, _ in entries), default=0)
+    for label, fraction in entries:
+        bar = "#" * int(round(fraction * width))
+        out.append(f"{label.ljust(max_label)} |{bar.ljust(width)}| "
+                   f"{fraction:6.1%}")
+    return "\n".join(out)
+
+
+def format_curve(series, width: int = 60, title: str = "") -> str:
+    """Textual multi-series curve: one row per sampled x position.
+
+    ``series`` maps label → list of (x, y) points with y in [0, 1].
+    """
+    out = []
+    if title:
+        out.append(title)
+    labels = list(series)
+    xs = sorted({x for pts in series.values() for x, _ in pts})
+    if not xs:
+        return "\n".join(out)
+    sample_xs = xs[:: max(1, len(xs) // 12)]
+    header = "x".rjust(12) + "".join(label.rjust(12) for label in labels)
+    out.append(header)
+    for x in sample_xs:
+        row = f"{x:12d}"
+        for label in labels:
+            y = _value_at(series[label], x)
+            row += f"{y:12.1%}"
+        out.append(row)
+    return "\n".join(out)
+
+
+def _value_at(points, x: int) -> float:
+    best = 0.0
+    for px, py in points:
+        if px <= x:
+            best = py
+        else:
+            break
+    return best

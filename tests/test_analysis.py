@@ -1,0 +1,233 @@
+"""Unit tests for the analysis layer: disassembler, CFG, data-flow, prefix."""
+
+from repro.analysis import (
+    analyze_contract,
+    build_cfg,
+    disassemble,
+    jumpi_pcs,
+    PrefixAnalyzer,
+)
+from repro.analysis.distance import (
+    UNSEEN_DISTANCE,
+    distances_from_trace,
+    seed_distance,
+)
+from repro.compiler import compile_source
+from repro.evm.opcodes import Op
+from repro.evm.trace import BranchEvent, ExecutionTrace
+from repro.lang.parser import parse_source
+from tests.conftest import CROWDSALE_SOURCE
+
+
+class TestDisassembler:
+    def test_simple_sequence(self):
+        code = bytes([Op.CALLER, Op.ORIGIN, Op.EQ, Op.STOP])
+        instructions = disassemble(code)
+        assert [i.name for i in instructions] == [
+            "CALLER", "ORIGIN", "EQ", "STOP"]
+
+    def test_push_operand_decoded(self):
+        code = bytes([0x61, 0x12, 0x34, Op.STOP])  # PUSH2 0x1234
+        instructions = disassemble(code)
+        assert instructions[0].operand == 0x1234
+        assert instructions[1].pc == 3
+
+    def test_truncated_push_tolerated(self):
+        code = bytes([0x62, 0x01])  # PUSH3 with 1 byte of data
+        instructions = disassemble(code)
+        assert instructions[0].operand == 1
+
+    def test_jumpi_pcs(self, crowdsale_artifact):
+        pcs = jumpi_pcs(crowdsale_artifact.runtime_code)
+        assert pcs == sorted(crowdsale_artifact.branch_info)
+
+
+class TestCFG:
+    def test_blocks_partition_code(self, crowdsale_artifact):
+        cfg = build_cfg(crowdsale_artifact.runtime_code)
+        instruction_count = len(disassemble(crowdsale_artifact.runtime_code))
+        total = sum(len(b.instructions) for b in cfg.blocks.values())
+        assert total == instruction_count
+
+    def test_jumpi_block_has_two_successors(self, crowdsale_artifact):
+        cfg = build_cfg(crowdsale_artifact.runtime_code)
+        jumpi_blocks = [b for b in cfg.blocks.values()
+                        if b.terminator.opcode == Op.JUMPI]
+        assert jumpi_blocks
+        for block in jumpi_blocks:
+            assert len(block.successors) == 2
+
+    def test_revert_block_has_no_successors(self, crowdsale_artifact):
+        cfg = build_cfg(crowdsale_artifact.runtime_code)
+        for block in cfg.blocks.values():
+            if block.terminator.opcode == Op.REVERT:
+                assert block.successors == []
+
+    def test_block_at_lookup(self, crowdsale_artifact):
+        cfg = build_cfg(crowdsale_artifact.runtime_code)
+        for pc in jumpi_pcs(crowdsale_artifact.runtime_code):
+            block = cfg.block_at(pc)
+            assert block is not None
+            assert block.terminator.pc == pc
+
+    def test_reachability_finds_call_from_entry(self, crowdsale_artifact):
+        cfg = build_cfg(crowdsale_artifact.runtime_code)
+        reachable = cfg.reachable_opcodes_from(0)
+        assert Op.CALL in reachable  # transfers exist downstream of entry
+
+
+class TestDataflow:
+    def test_crowdsale_read_write_sets(self):
+        contract = parse_source(CROWDSALE_SOURCE).contracts[0]
+        dataflow = analyze_contract(contract)
+        invest = dataflow.of("invest")
+        assert invest.writes == {"invests", "invested", "phase"}
+        assert {"invested", "goal"} <= invest.reads
+        refund = dataflow.of("refund")
+        assert "phase" in refund.reads
+        assert refund.writes == {"invests"}
+        withdraw = dataflow.of("withdraw")
+        assert {"phase", "invested", "owner"} <= withdraw.reads
+        assert withdraw.writes == set()
+
+    def test_crowdsale_raw_self_dependency(self):
+        contract = parse_source(CROWDSALE_SOURCE).contracts[0]
+        dataflow = analyze_contract(contract)
+        assert "invested" in dataflow.of("invest").raw_self_deps
+        assert "invests" in dataflow.of("invest").raw_self_deps
+
+    def test_crowdsale_repeat_candidates(self):
+        """The paper's core example: invest must be repeatable (§IV-A)."""
+        contract = parse_source(CROWDSALE_SOURCE).contracts[0]
+        dataflow = analyze_contract(contract)
+        assert "invest" in dataflow.repeat_candidates()
+
+    def test_branch_reads(self):
+        contract = parse_source(CROWDSALE_SOURCE).contracts[0]
+        dataflow = analyze_contract(contract)
+        assert {"invested", "goal"} <= dataflow.of("invest").branch_reads
+        assert "phase" in dataflow.of("withdraw").branch_reads
+
+    def test_write_read_edges_order_invest_first(self):
+        contract = parse_source(CROWDSALE_SOURCE).contracts[0]
+        dataflow = analyze_contract(contract)
+        edges = dataflow.write_read_edges()
+        assert ("invest", "withdraw", "phase") in edges
+        assert ("invest", "refund", "phase") in edges
+
+    def test_local_alias_counts_as_branch_read(self):
+        source = """
+        contract T {
+            uint256 level = 0;
+            function f() public {
+                uint256 snapshot = level;
+                if (snapshot > 5) { level = 0; }
+            }
+        }
+        """
+        contract = parse_source(source).contracts[0]
+        dataflow = analyze_contract(contract)
+        assert "level" in dataflow.of("f").branch_reads
+
+    def test_internal_call_effects_propagate(self):
+        source = """
+        contract T {
+            uint256 total = 0;
+            function bump() internal { total += 1; }
+            function f() public { bump(); }
+        }
+        """
+        contract = parse_source(source).contracts[0]
+        dataflow = analyze_contract(contract)
+        assert "total" in dataflow.of("f").writes
+        assert "total" in dataflow.of("f").raw_self_deps
+
+    def test_modifier_reads_merge_into_function(self):
+        source = """
+        contract T {
+            address owner;
+            uint256 x = 0;
+            modifier onlyOwner() { require(msg.sender == owner); _; }
+            constructor() public { owner = msg.sender; }
+            function f() public onlyOwner { x = 1; }
+        }
+        """
+        contract = parse_source(source).contracts[0]
+        dataflow = analyze_contract(contract)
+        assert "owner" in dataflow.of("f").reads
+
+    def test_stateless_function_not_stateful(self):
+        source = """
+        contract T {
+            uint256 x = 0;
+            function pure_fn(uint256 v) public {}
+            function writes(uint256 v) public { x = v; }
+        }
+        """
+        contract = parse_source(source).contracts[0]
+        dataflow = analyze_contract(contract)
+        assert dataflow.stateful_functions() == ["writes"]
+
+
+class TestPrefixAnalyzer:
+    def test_nested_scores_count_prefix_branches(self):
+        analyzer = PrefixAnalyzer(b"")
+        path = [
+            BranchEvent(pc=10, address=1, depth=0),
+            BranchEvent(pc=20, address=1, depth=0),
+            BranchEvent(pc=30, address=1, depth=0),
+        ]
+        scores = analyzer.nested_scores(path)
+        assert scores == {10: 1, 20: 2, 30: 3}
+
+    def test_nested_scores_keep_deepest(self):
+        analyzer = PrefixAnalyzer(b"")
+        path = [
+            BranchEvent(pc=10, address=1, depth=0),
+            BranchEvent(pc=20, address=1, depth=0),
+            BranchEvent(pc=10, address=1, depth=0),
+        ]
+        assert analyzer.nested_scores(path)[10] == 3
+
+    def test_vulnerable_reachability_on_crowdsale(self, crowdsale_artifact):
+        analyzer = PrefixAnalyzer(crowdsale_artifact.runtime_code)
+        # the withdraw `if` guards a transfer: CALL must be reachable from
+        # at least one branch direction of some JUMPI
+        any_call = any(
+            Op.CALL in analyzer.reachability(pc).taken
+            or Op.CALL in analyzer.reachability(pc).fallthrough
+            for pc in crowdsale_artifact.branch_info)
+        assert any_call
+
+    def test_reachability_cached(self, crowdsale_artifact):
+        analyzer = PrefixAnalyzer(crowdsale_artifact.runtime_code)
+        pc = next(iter(crowdsale_artifact.branch_info))
+        first = analyzer.reachability(pc)
+        assert analyzer.reachability(pc) is first
+
+
+class TestDistances:
+    def _trace_with_branch(self, pc=5, taken=False, dist_true=7,
+                           dist_false=0):
+        trace = ExecutionTrace()
+        event = BranchEvent(pc=pc, address=1, depth=0, taken=taken,
+                            dist_true=dist_true, dist_false=dist_false)
+        trace.branches.append(event)
+        return trace
+
+    def test_distance_to_untaken_direction(self):
+        trace = self._trace_with_branch(taken=False, dist_true=7)
+        distances = distances_from_trace(trace)
+        assert distances[(1, 5, True)] == 7
+
+    def test_none_distance_maps_to_one(self):
+        trace = self._trace_with_branch(dist_true=None, dist_false=None)
+        assert distances_from_trace(trace)[(1, 5, True)] == 1
+
+    def test_seed_distance_zero_when_covered(self):
+        trace = self._trace_with_branch(taken=True)
+        assert seed_distance(trace, (1, 5, True)) == 0
+
+    def test_seed_distance_unseen(self):
+        trace = self._trace_with_branch()
+        assert seed_distance(trace, (1, 999, True)) == UNSEEN_DISTANCE

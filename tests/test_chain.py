@@ -1,0 +1,267 @@
+"""Unit tests for world state, journaling, the chain API, and agents."""
+
+import pytest
+
+from repro.chain import (
+    BenignAgent,
+    Chain,
+    RejectingAgent,
+    ReentrantAgent,
+    WorldState,
+)
+from repro.chain.transactions import Transaction
+from repro.compiler import compile_source, encode_call
+from repro.evm.errors import InsufficientBalance
+from repro.evm.trace import Shadow, Taint
+from tests.conftest import ALICE, BOB
+
+
+class TestWorldState:
+    def test_account_creation(self):
+        world = WorldState()
+        acct = world.account(0x1)
+        assert acct.balance == 0
+        assert world.exists(0x1)
+
+    def test_balance_set_get(self):
+        world = WorldState()
+        world.set_balance(0x1, 100)
+        assert world.get_balance(0x1) == 100
+        assert world.get_balance(0x999) == 0
+
+    def test_transfer(self):
+        world = WorldState()
+        world.set_balance(0x1, 100)
+        world.transfer(0x1, 0x2, 40)
+        assert world.get_balance(0x1) == 60
+        assert world.get_balance(0x2) == 40
+
+    def test_transfer_insufficient_raises(self):
+        world = WorldState()
+        world.set_balance(0x1, 10)
+        with pytest.raises(InsufficientBalance):
+            world.transfer(0x1, 0x2, 11)
+
+    def test_storage_roundtrip(self):
+        world = WorldState()
+        world.set_storage(0x1, 5, 777)
+        value, _ = world.get_storage(0x1, 5)
+        assert value == 777
+
+    def test_storage_shadow_persists(self):
+        world = WorldState()
+        world.set_storage(0x1, 5, 777, Shadow(frozenset({Taint.BLOCK})))
+        _, shadow = world.get_storage(0x1, 5)
+        assert Taint.BLOCK in shadow.taints
+
+    def test_snapshot_revert_storage(self):
+        world = WorldState()
+        world.set_storage(0x1, 0, 1)
+        token = world.snapshot()
+        world.set_storage(0x1, 0, 2)
+        world.set_storage(0x1, 1, 3)
+        world.revert_to(token)
+        assert world.get_storage(0x1, 0)[0] == 1
+        assert world.get_storage(0x1, 1)[0] == 0
+
+    def test_snapshot_revert_balance(self):
+        world = WorldState()
+        world.set_balance(0x1, 50)
+        token = world.snapshot()
+        world.set_balance(0x1, 99)
+        world.revert_to(token)
+        assert world.get_balance(0x1) == 50
+
+    def test_nested_snapshots(self):
+        world = WorldState()
+        world.set_balance(0x1, 1)
+        outer = world.snapshot()
+        world.set_balance(0x1, 2)
+        inner = world.snapshot()
+        world.set_balance(0x1, 3)
+        world.revert_to(inner)
+        assert world.get_balance(0x1) == 2
+        world.revert_to(outer)
+        assert world.get_balance(0x1) == 1
+
+    def test_revert_account_creation(self):
+        world = WorldState()
+        token = world.snapshot()
+        world.account(0x42)
+        world.revert_to(token)
+        assert not world.exists(0x42)
+
+    def test_destroyed_account_has_no_code(self):
+        world = WorldState()
+        world.set_code(0x1, b"\x00")
+        world.mark_destroyed(0x1)
+        assert world.get_code(0x1) == b""
+
+    def test_fork_is_independent(self):
+        world = WorldState()
+        world.set_storage(0x1, 0, 1)
+        world.set_balance(0x1, 5)
+        clone = world.fork()
+        clone.set_storage(0x1, 0, 99)
+        clone.set_balance(0x1, 0)
+        assert world.get_storage(0x1, 0)[0] == 1
+        assert world.get_balance(0x1) == 5
+
+
+SIMPLE = """
+contract Counter {
+    uint256 count = 0;
+    function bump() public { count += 1; }
+}
+"""
+
+
+class TestChain:
+    def test_deploy_installs_runtime_code(self, chain):
+        artifact = compile_source(SIMPLE)
+        deployed = chain.deploy(artifact, sender=ALICE)
+        assert chain.world.get_code(deployed.address) == \
+            artifact.runtime_code
+
+    def test_block_advances_per_transaction(self, chain):
+        artifact = compile_source(SIMPLE)
+        deployed = chain.deploy(artifact, sender=ALICE)
+        fn = artifact.abi.function("bump")
+        n0 = chain.block.number
+        chain.apply(Transaction(sender=ALICE, to=deployed.address,
+                                data=encode_call(fn, [])))
+        assert chain.block.number == n0 + 1
+        assert chain.block.timestamp > 0
+
+    def test_receipts_recorded(self, chain):
+        artifact = compile_source(SIMPLE)
+        deployed = chain.deploy(artifact, sender=ALICE)
+        fn = artifact.abi.function("bump")
+        chain.apply(Transaction(sender=ALICE, to=deployed.address,
+                                data=encode_call(fn, [])))
+        assert len(chain.receipts) == 1
+        assert chain.receipts[0].success
+
+    def test_failed_deploy_raises(self, chain):
+        bad = compile_source(
+            "contract T { constructor() public { revert(); } }")
+        with pytest.raises(RuntimeError):
+            chain.deploy(bad, sender=ALICE)
+
+    def test_fork_isolates_contract_state(self, chain):
+        artifact = compile_source(SIMPLE)
+        deployed = chain.deploy(artifact, sender=ALICE)
+        fn = artifact.abi.function("bump")
+        fork = chain.fork()
+        fork.apply(Transaction(sender=ALICE, to=deployed.address,
+                               data=encode_call(fn, [])))
+        assert fork.world.get_storage(deployed.address, 0)[0] == 1
+        assert chain.world.get_storage(deployed.address, 0)[0] == 0
+
+    def test_value_transfer_via_transaction(self, chain):
+        artifact = compile_source(
+            "contract T { function put() public payable {} }")
+        deployed = chain.deploy(artifact, sender=ALICE)
+        fn = artifact.abi.function("put")
+        receipt = chain.apply(Transaction(
+            sender=ALICE, to=deployed.address, value=1000,
+            data=encode_call(fn, [])))
+        assert receipt.success
+        assert chain.world.get_balance(deployed.address) == 1000
+
+    def test_reverted_value_transfer_rolled_back(self, chain):
+        artifact = compile_source(
+            "contract T { function f() public payable { revert(); } }")
+        deployed = chain.deploy(artifact, sender=ALICE)
+        fn = artifact.abi.function("f")
+        before = chain.world.get_balance(ALICE)
+        receipt = chain.apply(Transaction(
+            sender=ALICE, to=deployed.address, value=1000,
+            data=encode_call(fn, [])))
+        assert not receipt.success
+        assert chain.world.get_balance(ALICE) == before
+        assert chain.world.get_balance(deployed.address) == 0
+
+
+VAULT = """
+contract Vault {
+    mapping(address => uint256) shares;
+    function join() public payable { shares[msg.sender] += msg.value; }
+    function redeem() public {
+        uint256 owed = shares[msg.sender];
+        if (owed > 0) {
+            bool sent = msg.sender.call.value(owed)();
+            require(sent);
+            shares[msg.sender] = 0;
+        }
+    }
+}
+"""
+
+
+class TestAgents:
+    def test_benign_agent_accepts_transfer(self, chain):
+        chain.register_agent(0x111, BenignAgent(), balance=0)
+        artifact = compile_source(
+            "contract T { function pay(address to) public payable "
+            "{ to.transfer(msg.value); } }")
+        deployed = chain.deploy(artifact, sender=ALICE)
+        fn = artifact.abi.function("pay")
+        receipt = chain.apply(Transaction(
+            sender=ALICE, to=deployed.address, value=500,
+            data=encode_call(fn, [0x111])))
+        assert receipt.success
+        assert chain.world.get_balance(0x111) == 500
+
+    def test_rejecting_agent_fails_transfer(self, chain):
+        chain.register_agent(0x222, RejectingAgent(), balance=0)
+        artifact = compile_source(
+            "contract T { function pay(address to) public payable "
+            "{ to.transfer(msg.value); } }")
+        deployed = chain.deploy(artifact, sender=ALICE)
+        fn = artifact.abi.function("pay")
+        receipt = chain.apply(Transaction(
+            sender=ALICE, to=deployed.address, value=500,
+            data=encode_call(fn, [0x222])))
+        assert not receipt.success  # transfer reverts on failure
+
+    def test_reentrant_agent_reenters_vault(self, chain):
+        attacker = 0x333
+        agent = ReentrantAgent(attacker)
+        chain.register_agent(attacker, agent)
+        artifact = compile_source(VAULT)
+        deployed = chain.deploy(artifact, sender=ALICE)
+        join = artifact.abi.function("join")
+        redeem = artifact.abi.function("redeem")
+
+        # victim deposits liquidity; attacker deposits a small share
+        chain.apply(Transaction(sender=ALICE, to=deployed.address,
+                                value=10_000, data=encode_call(join, [])))
+        chain.apply(Transaction(sender=attacker, to=deployed.address,
+                                value=1_000, data=encode_call(join, [])))
+        agent.arm(encode_call(redeem, []))
+        receipt = chain.apply(Transaction(
+            sender=attacker, to=deployed.address,
+            data=encode_call(redeem, [])))
+        assert receipt.success
+        reentrant_calls = [c for c in receipt.trace.calls if c.reentrant]
+        assert reentrant_calls, "agent should have re-entered the vault"
+        # drained more than its own share
+        assert chain.world.get_balance(deployed.address) < 10_000
+
+    def test_unarmed_agent_does_not_reenter(self, chain):
+        attacker = 0x444
+        agent = ReentrantAgent(attacker)
+        chain.register_agent(attacker, agent)
+        artifact = compile_source(VAULT)
+        deployed = chain.deploy(artifact, sender=ALICE)
+        join = artifact.abi.function("join")
+        redeem = artifact.abi.function("redeem")
+        chain.apply(Transaction(sender=attacker, to=deployed.address,
+                                value=1_000, data=encode_call(join, [])))
+        agent.arm(b"")  # nothing to replay
+        receipt = chain.apply(Transaction(
+            sender=attacker, to=deployed.address,
+            data=encode_call(redeem, [])))
+        assert receipt.success
+        assert not any(c.reentrant for c in receipt.trace.calls)

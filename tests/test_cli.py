@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from tests.conftest import CROWDSALE_SOURCE
+
+
+@pytest.fixture
+def crowdsale_file(tmp_path):
+    path = tmp_path / "crowdsale.sol"
+    path.write_text(CROWDSALE_SOURCE)
+    return str(path)
+
+
+def run_cli(capsys, *argv) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestCli:
+    def test_compile(self, capsys, crowdsale_file):
+        out = run_cli(capsys, "compile", crowdsale_file)
+        assert "contract Crowdsale" in out
+        assert "slot 0: phase" in out
+        assert "invest(uint256) payable" in out
+
+    def test_disasm(self, capsys, crowdsale_file):
+        out = run_cli(capsys, "disasm", crowdsale_file)
+        assert "JUMPI" in out
+        assert "SSTORE" in out
+
+    def test_analyze_shows_raw_deps(self, capsys, crowdsale_file):
+        out = run_cli(capsys, "analyze", crowdsale_file)
+        assert "repeat candidates: ['invest']" in out
+        assert "invested" in out
+
+    def test_fuzz(self, capsys, crowdsale_file):
+        out = run_cli(capsys, "fuzz", crowdsale_file,
+                      "--iterations", "30", "--seed", "3")
+        assert "branch coverage" in out
+        assert "MuFuzz" in out
+
+    def test_fuzz_with_baseline(self, capsys, crowdsale_file):
+        out = run_cli(capsys, "fuzz", crowdsale_file,
+                      "--fuzzer", "sfuzz", "--iterations", "20")
+        assert "sFuzz" in out
+
+    def test_scan(self, capsys, crowdsale_file):
+        out = run_cli(capsys, "scan", crowdsale_file)
+        for tool in ("Oyente", "Mythril", "Osiris", "Securify", "Slither"):
+            assert tool in out
+
+    def test_corpus_d2(self, capsys):
+        out = run_cli(capsys, "corpus", "--dataset", "d2", "--count", "5")
+        assert "D2 sample" in out
+        assert "Vuln0" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

@@ -1,0 +1,175 @@
+"""Unit tests for compiler internals: assembler, ABI, storage layout."""
+
+import pytest
+
+from repro.compiler.abi import (
+    ContractABI,
+    compute_selector,
+    decode_words,
+    encode_call,
+    encode_words,
+    make_function_abi,
+)
+from repro.compiler.asm import Assembler
+from repro.compiler.layout import (
+    FRAME_BASE,
+    StorageLayout,
+    build_frames,
+    collect_locals,
+)
+from repro.evm.opcodes import Op
+from repro.lang.parser import parse_source
+from repro.lang.types import ADDRESS, BOOL, UINT
+
+
+class TestAssembler:
+    def test_emit_and_push(self):
+        asm = Assembler()
+        asm.push(0x1234)
+        asm.emit(Op.STOP)
+        code = asm.assemble()
+        assert code == bytes([0x61, 0x12, 0x34, Op.STOP])
+
+    def test_push_minimal_width(self):
+        asm = Assembler()
+        asm.push(0)
+        assert asm.assemble() == bytes([0x60, 0x00])
+
+    def test_push_32_bytes(self):
+        asm = Assembler()
+        asm.push((1 << 256) - 1)
+        code = asm.assemble()
+        assert code[0] == 0x7F
+        assert len(code) == 33
+
+    def test_push_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            Assembler().push(1 << 256)
+
+    def test_label_fixup(self):
+        asm = Assembler()
+        label = asm.new_label()
+        asm.jump_to(label)
+        dest = asm.place(label)
+        asm.emit(Op.STOP)
+        code = asm.assemble()
+        target = int.from_bytes(code[1:3], "big")
+        assert target == dest
+        assert code[dest] == Op.JUMPDEST
+
+    def test_unplaced_label_rejected(self):
+        asm = Assembler()
+        asm.push_label(asm.new_label())
+        with pytest.raises(ValueError):
+            asm.assemble()
+
+    def test_srcmap_records_lines(self):
+        asm = Assembler()
+        asm.set_line(12)
+        pc = asm.emit(Op.ADD)
+        assert asm.srcmap[pc] == 12
+
+    def test_jumpi_to_returns_jumpi_pc(self):
+        asm = Assembler()
+        label = asm.new_label()
+        pc = asm.jumpi_to(label)
+        asm.place(label)
+        code = asm.assemble()
+        assert code[pc] == Op.JUMPI
+
+
+class TestAbi:
+    def test_selector_is_32_bits(self):
+        selector = compute_selector("transfer", (ADDRESS, UINT))
+        assert 0 <= selector < (1 << 32)
+
+    def test_selector_distinguishes_signatures(self):
+        assert compute_selector("f", (UINT,)) != compute_selector("f", ())
+        assert compute_selector("f", (UINT,)) != \
+            compute_selector("g", (UINT,))
+
+    def test_encode_call_layout(self):
+        fn = make_function_abi("f", (UINT, BOOL), None, False, "")
+        data = encode_call(fn, [7, 1])
+        words = decode_words(data)
+        assert words == [fn.selector, 7, 1]
+
+    def test_encode_call_arity_checked(self):
+        fn = make_function_abi("f", (UINT,), None, False, "")
+        with pytest.raises(ValueError):
+            encode_call(fn, [1, 2])
+
+    def test_encode_words_roundtrip_negative_wraps(self):
+        data = encode_words([-1])
+        assert decode_words(data) == [(1 << 256) - 1]
+
+    def test_contract_abi_lookup(self):
+        fn = make_function_abi("f", (), None, False, "view")
+        abi = ContractABI(name="T", functions=[fn])
+        assert abi.function("f") is fn
+        assert abi.by_selector(fn.selector) is fn
+        assert abi.by_selector(0) is None
+        with pytest.raises(KeyError):
+            abi.function("missing")
+
+    def test_mutability_flag(self):
+        view = make_function_abi("f", (), None, False, "view")
+        plain = make_function_abi("g", (), None, False, "")
+        assert not view.mutates_state
+        assert plain.mutates_state
+
+
+SOURCE = """
+contract T {
+    uint256 a;
+    mapping(address => uint256) m;
+    bool flag;
+
+    function f(uint256 x, address who) public {
+        uint256 local1 = x;
+        if (x > 0) {
+            uint256 local2 = x + 1;
+            a = local2;
+        }
+    }
+    function g() public returns (uint256) { return a; }
+}
+"""
+
+
+class TestLayout:
+    def _contract(self):
+        return parse_source(SOURCE).contracts[0]
+
+    def test_slots_follow_declaration_order(self):
+        layout = StorageLayout.for_contract(self._contract())
+        assert layout.slot_of("a") == 0
+        assert layout.slot_of("m") == 1
+        assert layout.slot_of("flag") == 2
+
+    def test_collect_locals_including_nested(self):
+        contract = self._contract()
+        fn = contract.function("f")
+        assert collect_locals(fn.body) == ["local1", "local2"]
+
+    def test_frames_disjoint(self):
+        frames, scratch = build_frames(self._contract())
+        ranges = []
+        for frame in frames.values():
+            ranges.append((frame.start, frame.start + frame.size))
+        ranges.sort()
+        for (s1, e1), (s2, _e2) in zip(ranges, ranges[1:]):
+            assert e1 <= s2, "frames overlap"
+        assert all(start >= FRAME_BASE for start, _ in ranges)
+        assert scratch >= max(end for _, end in ranges)
+
+    def test_frame_contains_params_and_locals(self):
+        frames, _ = build_frames(self._contract())
+        frame = frames["f"]
+        for name in ("x", "who", "local1", "local2"):
+            assert frame.has_local(name)
+        assert frame.ret_offset >= frame.start
+
+    def test_empty_function_still_has_ret_slot(self):
+        frames, _ = build_frames(self._contract())
+        assert frames["g"].size == 32  # just the return slot

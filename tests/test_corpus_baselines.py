@@ -1,0 +1,233 @@
+"""Tests for the corpus generators, static analyzers, and reporting."""
+
+import pytest
+
+from repro.baselines import (
+    Mythril,
+    Osiris,
+    Oyente,
+    Securify,
+    Slither,
+    STATIC_ANALYZERS,
+)
+from repro.compiler import compile_source
+from repro.corpus import (
+    compile_corpus,
+    generate_d1,
+    generate_d2,
+    generate_d3,
+)
+from repro.corpus.d1 import D1_SIZE_THRESHOLD, classify_by_size
+from repro.corpus.d2 import D2_CLASS_TOTALS, D2_CONTRACT_COUNT, class_totals
+from repro.oracles.base import BugClass
+from repro.reporting import (
+    aggregate_fuzzer_detection,
+    aggregate_static_detection,
+    format_table,
+    score_against_ground_truth,
+)
+from repro.reporting.results import BugDetectionCell, totals
+
+
+@pytest.fixture(scope="module")
+def d2_corpus():
+    return generate_d2()
+
+
+@pytest.fixture(scope="module")
+def d1_small_sample():
+    corpus = generate_d1(n_small=6, n_large=0, seed=3)
+    return compile_corpus(corpus)
+
+
+class TestD1Generator:
+    def test_deterministic(self):
+        first = generate_d1(n_small=3, n_large=1, seed=9)
+        second = generate_d1(n_small=3, n_large=1, seed=9)
+        assert [c.source for c in first] == [c.source for c in second]
+
+    def test_all_compile(self, d1_small_sample):
+        for contract in d1_small_sample:
+            assert contract.artifact.runtime_code
+
+    def test_size_split_matches_threshold(self):
+        corpus = compile_corpus(generate_d1(n_small=3, n_large=2, seed=5))
+        small, large = classify_by_size(corpus)
+        assert all(c.instruction_count <= D1_SIZE_THRESHOLD for c in small)
+        assert all(c.instruction_count > D1_SIZE_THRESHOLD for c in large)
+        assert len(large) == 2
+
+    def test_contracts_have_branches(self, d1_small_sample):
+        for contract in d1_small_sample:
+            assert contract.artifact.total_branches >= 4
+
+
+class TestD2Generator:
+    def test_contract_count(self, d2_corpus):
+        assert len(d2_corpus) == D2_CONTRACT_COUNT
+
+    def test_class_totals_match_paper(self, d2_corpus):
+        assert class_totals(d2_corpus) == D2_CLASS_TOTALS
+
+    def test_all_compile(self, d2_corpus):
+        for contract in d2_corpus[:30]:
+            assert contract.artifact.runtime_code
+
+    def test_ef_contracts_have_no_ether_out(self, d2_corpus):
+        from repro.analysis.disassembler import disassemble
+        from repro.evm.opcodes import Op
+        send_ops = {Op.CALL, Op.DELEGATECALL, Op.SELFDESTRUCT}
+        for contract in d2_corpus:
+            if BugClass.EF in contract.expected_bugs:
+                present = {ins.opcode
+                           for ins in disassemble(
+                               contract.artifact.runtime_code)}
+                assert not (present & send_ops), contract.name
+
+    def test_deterministic(self):
+        assert [c.source for c in generate_d2()] == \
+            [c.source for c in generate_d2()]
+
+    def test_multi_bug_contracts_exist(self, d2_corpus):
+        multi = [c for c in d2_corpus if len(c.expected_bugs) == 2]
+        assert len(multi) == sum(D2_CLASS_TOTALS.values()) - \
+            D2_CONTRACT_COUNT
+
+
+class TestD3Generator:
+    def test_count_and_compile(self):
+        corpus = compile_corpus(generate_d3(count=5, seed=1))
+        assert len(corpus) == 5
+
+    def test_injected_bug_profile_io_heavy(self):
+        corpus = generate_d3(count=50, seed=2)
+        with_io = sum(BugClass.IO in c.expected_bugs for c in corpus)
+        with_us = sum(BugClass.US in c.expected_bugs for c in corpus)
+        assert with_io > with_us
+
+    def test_fp_bait_present(self):
+        corpus = generate_d3(count=60, seed=3)
+        assert any(c.benign_lookalikes for c in corpus)
+
+
+VULNERABLE_PROXY = """
+contract Proxy {
+    function run(address target, uint256 data) public {
+        target.delegatecall(data);
+    }
+}
+"""
+
+TIMESTAMP_LOTTERY = """
+contract Lottery {
+    uint256 wins = 0;
+    function roll() public payable {
+        if (block.timestamp % 10 == 1) { wins += 1; }
+    }
+}
+"""
+
+
+class TestStaticAnalyzers:
+    def test_capability_matrix_matches_table1(self):
+        assert BugClass.IO in Oyente.supported
+        assert BugClass.UD not in Oyente.supported
+        assert BugClass.EF not in Mythril.supported
+        assert Securify.supported == {BugClass.RE, BugClass.UE}
+        assert BugClass.IO not in Slither.supported
+        assert BugClass.EF in Slither.supported
+
+    def test_slither_finds_delegatecall_proxy(self):
+        artifact = compile_source(VULNERABLE_PROXY)
+        result = Slither().analyze(artifact)
+        assert BugClass.UD in result.findings
+
+    def test_oyente_flags_timestamp(self):
+        artifact = compile_source(TIMESTAMP_LOTTERY)
+        result = Oyente().analyze(artifact)
+        assert BugClass.BD in result.findings
+
+    def test_mythril_times_out_on_path_heavy_contract(self):
+        corpus = generate_d3(count=3, seed=4)
+        results = [Mythril().analyze(c.artifact) for c in corpus]
+        assert any(r.timeout for r in results)
+
+    def test_timeout_clears_findings(self):
+        corpus = generate_d3(count=3, seed=4)
+        for contract in corpus:
+            result = Mythril().analyze(contract.artifact)
+            if result.timeout:
+                assert result.findings == set()
+
+    def test_osiris_skips_guarded_arithmetic(self):
+        guarded = compile_source("""
+        contract Safe {
+            uint256 total = 0;
+            function add(uint256 v) public {
+                require(total + v >= total);
+                total += v;
+            }
+        }
+        """)
+        # the guard is a GT/LT-shaped comparison downstream of calldata
+        result = Osiris().analyze(guarded)
+        assert BugClass.IO not in result.findings
+
+    def test_osiris_flags_unguarded_arithmetic(self):
+        unguarded = compile_source("""
+        contract Unsafe {
+            uint256 total = 0;
+            function add(uint256 v) public { total += v; }
+        }
+        """)
+        result = Osiris().analyze(unguarded)
+        assert BugClass.IO in result.findings
+
+    def test_all_tools_run_on_d2_sample(self, d2_corpus):
+        for tool_cls in STATIC_ANALYZERS:
+            tool = tool_cls()
+            for contract in d2_corpus[:8]:
+                result = tool.analyze(contract.artifact)
+                assert result.findings <= set(tool.supported)
+
+    def test_findings_restricted_to_supported(self):
+        artifact = compile_source(TIMESTAMP_LOTTERY)
+        result = Securify().analyze(artifact)  # BD unsupported
+        assert BugClass.BD not in result.findings
+
+
+class TestReporting:
+    def test_score_against_ground_truth(self, d2_corpus):
+        contract = d2_corpus[0]
+        some_class = next(iter(contract.expected_bugs))
+        tps, fns, fps = score_against_ground_truth(
+            contract, {some_class, BugClass.TO})
+        assert some_class in tps
+        assert BugClass.TO in fps or BugClass.TO in contract.expected_bugs
+
+    def test_lookalikes_not_counted_as_fp(self, d2_corpus):
+        contract = next(c for c in d2_corpus if c.benign_lookalikes)
+        lookalike = next(iter(contract.benign_lookalikes))
+        _, _, fps = score_against_ground_truth(contract, {lookalike})
+        assert lookalike not in fps
+
+    def test_aggregate_static_detection_counts_failures(self, d2_corpus):
+        sample = d2_corpus[:10]
+        results = {c.name: Mythril().analyze(c.artifact) for c in sample}
+        cells = aggregate_static_detection(sample, results)
+        total = totals(cells)
+        annotated = sum(len(c.expected_bugs) for c in sample)
+        assert total.tp + total.fn + total.failed == annotated
+
+    def test_cell_formatting(self):
+        cell = BugDetectionCell(tp=3, fn=1, failed=2)
+        assert str(cell) == "3 / 1 / 2"
+        assert str(BugDetectionCell(supported=False)) == "n/a"
+
+    def test_format_table_alignment(self):
+        table = format_table(["tool", "cov"], [["MuFuzz", "90%"],
+                                               ["sFuzz", "65%"]],
+                             title="demo")
+        lines = table.splitlines()
+        assert "MuFuzz" in table
+        assert len(lines[2].split("|")) == 2

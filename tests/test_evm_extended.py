@@ -1,0 +1,192 @@
+"""Extended EVM semantics: signed ops, modular ops, bit ops, call plumbing."""
+
+import pytest
+
+from repro.chain.blockchain import BlockContext
+from repro.chain.state import WorldState
+from repro.evm.machine import Machine, Message
+from repro.evm.opcodes import Op
+from tests.test_evm import asm, push1, run_code
+
+U256 = 1 << 256
+
+
+def top_of_stack(code: bytes, calldata: bytes = b"") -> int:
+    """Run code that leaves one value; return it via MSTORE/RETURN suffix."""
+    suffix = asm(push1(0), Op.MSTORE, (32, 1), push1(0), Op.RETURN)
+    result, _ = run_code(code + suffix, calldata=calldata)
+    assert result.success, result.error
+    return int.from_bytes(result.returndata, "big")
+
+
+def neg(v: int) -> int:
+    return (U256 - v) % U256
+
+
+class TestSignedArithmetic:
+    def test_sdiv_negative_by_positive(self):
+        code = asm(push1(3), (neg(9), 32), Op.SDIV)  # -9 / 3
+        assert top_of_stack(code) == neg(3)
+
+    def test_sdiv_by_zero(self):
+        code = asm(push1(0), (neg(9), 32), Op.SDIV)
+        assert top_of_stack(code) == 0
+
+    def test_smod_sign_follows_dividend(self):
+        code = asm(push1(4), (neg(10), 32), Op.SMOD)  # -10 smod 4 = -2
+        assert top_of_stack(code) == neg(2)
+
+    def test_signextend_positive(self):
+        # sign-extend byte 0 of 0x7F: stays 0x7F
+        code = asm(push1(0x7F), push1(0), Op.SIGNEXTEND)
+        assert top_of_stack(code) == 0x7F
+
+    def test_signextend_negative(self):
+        # sign-extend byte 0 of 0xFF: becomes -1
+        code = asm(push1(0xFF), push1(0), Op.SIGNEXTEND)
+        assert top_of_stack(code) == U256 - 1
+
+
+class TestModularOps:
+    def test_addmod(self):
+        code = asm(push1(7), push1(5), push1(4), Op.ADDMOD)  # (4+5) % 7
+        assert top_of_stack(code) == 2
+
+    def test_addmod_zero_modulus(self):
+        code = asm(push1(0), push1(5), push1(4), Op.ADDMOD)
+        assert top_of_stack(code) == 0
+
+    def test_mulmod(self):
+        code = asm(push1(7), push1(5), push1(4), Op.MULMOD)  # (4*5) % 7
+        assert top_of_stack(code) == 6
+
+    def test_addmod_does_not_record_overflow(self):
+        code = asm(push1(7), (U256 - 1, 32), push1(4), Op.ADDMOD, Op.STOP)
+        _, machine = run_code(code)
+        assert machine.trace.overflows == []
+
+
+class TestBitOps:
+    def test_and_or_xor_not(self):
+        assert top_of_stack(asm(push1(0b1100), push1(0b1010), Op.AND)) == 0b1000
+        assert top_of_stack(asm(push1(0b1100), push1(0b1010), Op.OR)) == 0b1110
+        assert top_of_stack(asm(push1(0b1100), push1(0b1010), Op.XOR)) == 0b0110
+        assert top_of_stack(asm(push1(0), Op.NOT)) == U256 - 1
+
+    def test_byte_extraction(self):
+        # BYTE(31, x) is the least significant byte
+        code = asm(push1(0xAB), push1(31), Op.BYTE)
+        assert top_of_stack(code) == 0xAB
+
+    def test_byte_out_of_range(self):
+        code = asm(push1(0xAB), push1(40), Op.BYTE)
+        assert top_of_stack(code) == 0
+
+    def test_shl_shr(self):
+        assert top_of_stack(asm(push1(1), push1(4), Op.SHL)) == 16
+        assert top_of_stack(asm(push1(16), push1(4), Op.SHR)) == 1
+
+    def test_shift_by_256_is_zero(self):
+        code = asm(push1(1), (256, 2), Op.SHL)
+        assert top_of_stack(code) == 0
+
+
+class TestStackOps:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8])
+    def test_dup_n(self, n):
+        ops = [push1(i) for i in range(10, 10 + n)]
+        code = asm(*ops, 0x80 + n - 1)  # DUPn duplicates the n-th item
+        assert top_of_stack(code) == 10
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 8])
+    def test_swap_n(self, n):
+        ops = [push1(i) for i in range(20, 21 + n)]
+        code = asm(*ops, 0x90 + n - 1)  # SWAPn
+        assert top_of_stack(code) == 20
+
+    def test_pc_and_msize(self):
+        assert top_of_stack(asm(Op.PC)) == 0
+        code = asm(push1(1), push1(64), Op.MSTORE, Op.MSIZE)
+        assert top_of_stack(code) == 96
+
+
+class TestCallPlumbing:
+    def test_call_to_empty_account_succeeds(self):
+        # CALL(gas, to, value=0, 0,0, 0,0) to a codeless account
+        code = asm(push1(0), push1(0), push1(0), push1(0), push1(0),
+                   (0x5555, 2), (50000, 3), Op.CALL)
+        assert top_of_stack(code) == 1
+
+    def test_call_value_moves_balance(self):
+        world = WorldState()
+        world.account(0xAAA)
+        world.set_balance(0xAAA, 1000)
+        machine = Machine(world, BlockContext())
+        code = asm(push1(0), push1(0), push1(0), push1(0), (400, 2),
+                   (0x777, 2), (50000, 3), Op.CALL, Op.STOP)
+        msg = Message(address=0xAAA, caller=0xB, origin=0xB, value=0,
+                      data=b"", gas=10 ** 6, code=code)
+        result = machine.execute(msg)
+        assert result.success
+        assert world.get_balance(0x777) == 400
+        assert world.get_balance(0xAAA) == 600
+
+    def test_call_insufficient_balance_fails_cleanly(self):
+        world = WorldState()
+        world.account(0xAAA)  # zero balance
+        machine = Machine(world, BlockContext())
+        code = asm(push1(0), push1(0), push1(0), push1(0), (400, 2),
+                   (0x777, 2), (50000, 3), Op.CALL, Op.STOP)
+        msg = Message(address=0xAAA, caller=0xB, origin=0xB, value=0,
+                      data=b"", gas=10 ** 6, code=code)
+        result = machine.execute(msg)
+        assert result.success  # the outer frame continues
+        assert machine.trace.calls[0].success is False
+        assert world.get_balance(0x777) == 0
+
+    def test_nested_revert_rolls_back_only_callee(self):
+        world = WorldState()
+        # callee: stores then reverts
+        callee_code = asm(push1(9), push1(0), Op.SSTORE,
+                          push1(0), push1(0), Op.REVERT)
+        world.account(0xCA11)
+        world.set_code(0xCA11, callee_code)
+        world.account(0xAAA)
+        machine = Machine(world, BlockContext())
+        # caller: SSTORE(0, 5), CALL callee, STOP
+        caller_code = asm(push1(5), push1(0), Op.SSTORE,
+                          push1(0), push1(0), push1(0), push1(0), push1(0),
+                          (0xCA11, 2), (100000, 3), Op.CALL, Op.STOP)
+        msg = Message(address=0xAAA, caller=0xB, origin=0xB, value=0,
+                      data=b"", gas=10 ** 6, code=caller_code)
+        result = machine.execute(msg)
+        assert result.success
+        assert world.get_storage(0xAAA, 0)[0] == 5      # caller kept
+        assert world.get_storage(0xCA11, 0)[0] == 0     # callee rolled back
+        assert machine.trace.calls[0].success is False
+
+    def test_delegatecall_uses_caller_storage(self):
+        world = WorldState()
+        # library code: SSTORE(0, 0x42)
+        library = asm(push1(0x42), push1(0), Op.SSTORE, Op.STOP)
+        world.account(0x11B)
+        world.set_code(0x11B, library)
+        world.account(0xAAA)
+        machine = Machine(world, BlockContext())
+        code = asm(push1(0), push1(0), push1(0), push1(0),
+                   (0x11B, 2), (100000, 3), Op.DELEGATECALL, Op.STOP)
+        msg = Message(address=0xAAA, caller=0xB, origin=0xB, value=0,
+                      data=b"", gas=10 ** 6, code=code)
+        result = machine.execute(msg)
+        assert result.success
+        # the write landed in the *caller's* storage
+        assert world.get_storage(0xAAA, 0)[0] == 0x42
+        assert world.get_storage(0x11B, 0)[0] == 0
+
+    def test_call_result_taint_marks_checked(self):
+        # CALL then JUMPI on the success flag → event.checked
+        code = asm(push1(0), push1(0), push1(0), push1(0), push1(0),
+                   (0x5555, 2), (50000, 3), Op.CALL,
+                   (26, 1), Op.JUMPI, Op.STOP, Op.JUMPDEST, Op.STOP)
+        result, machine = run_code(code)
+        assert machine.trace.calls[0].checked is True

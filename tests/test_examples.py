@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart_reaches_bug_branch():
+    out = run_example("quickstart.py")
+    assert "withdraw bug branch reached: YES" in out
+    assert "repeat candidates: ['invest']" in out
+
+
+def test_token_audit_reports_findings():
+    out = run_example("vulnerable_token_audit.py")
+    assert "MuFuzz audit report" in out
+    assert "[IO]" in out
+    assert "static analyzers" in out
+
+
+def test_reentrancy_replay_drains_vault():
+    out = run_example("reentrancy_attack_replay.py")
+    assert "reentrant frames observed: 3" in out
+    assert "RE oracle verdict" in out
+
+
+@pytest.mark.slow
+def test_shootout_prints_table():
+    out = run_example("fuzzer_shootout.py", "3", "60")
+    assert "D1 shoot-out" in out
+    assert "MuFuzz" in out and "sFuzz" in out

@@ -1,0 +1,146 @@
+"""Unit tests for the MiniSol lexer."""
+
+import pytest
+
+from repro.lang.errors import LexerError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]  # drop EOF
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == TokenKind.EOF
+
+    def test_identifier(self):
+        (tok,) = tokenize("myVar")[:-1]
+        assert tok.kind == TokenKind.IDENT
+        assert tok.text == "myVar"
+
+    def test_identifier_with_underscore_and_digits(self):
+        (tok,) = tokenize("_my_var2")[:-1]
+        assert tok.kind == TokenKind.IDENT
+
+    def test_keyword(self):
+        (tok,) = tokenize("contract")[:-1]
+        assert tok.kind == TokenKind.KEYWORD
+
+    def test_uint256_is_keyword(self):
+        (tok,) = tokenize("uint256")[:-1]
+        assert tok.kind == TokenKind.KEYWORD
+
+    def test_decimal_number(self):
+        (tok,) = tokenize("12345")[:-1]
+        assert tok.kind == TokenKind.NUMBER
+        assert tok.value == 12345
+
+    def test_hex_number(self):
+        (tok,) = tokenize("0xFF")[:-1]
+        assert tok.value == 255
+
+    def test_hex_number_long(self):
+        (tok,) = tokenize("0xdeadbeef")[:-1]
+        assert tok.value == 0xDEADBEEF
+
+    def test_string_literal(self):
+        (tok,) = tokenize('"hello world"')[:-1]
+        assert tok.kind == TokenKind.STRING
+        assert tok.value is None
+        assert tok.text == "hello world"
+
+
+class TestPunctuation:
+    @pytest.mark.parametrize("punct", [
+        "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "++",
+    ])
+    def test_multichar_punct_lexes_as_one_token(self, punct):
+        (tok,) = tokenize(punct)[:-1]
+        assert tok.kind == TokenKind.PUNCT
+        assert tok.text == punct
+
+    def test_greedy_lexing_of_arrows(self):
+        assert texts("= =>") == ["=", "=>"]
+
+    def test_plusplus_vs_plus(self):
+        assert texts("+ ++") == ["+", "++"]
+
+    @pytest.mark.parametrize("punct", list("+-*/%<>=!;,(){}[]."))
+    def test_single_punct(self, punct):
+        (tok,) = tokenize(punct)[:-1]
+        assert tok.kind == TokenKind.PUNCT
+
+
+class TestTrivia:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment here\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\n y */ b") == ["a", "b"]
+
+    def test_whitespace_variants(self):
+        assert texts("a\tb\r\nc  d") == ["a", "b", "c", "d"]
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        tokens = tokenize("a\nb\n  c")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 3
+
+    def test_column_tracking(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].column == 1
+        assert tokens[1].column == 4
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError):
+            tokenize("a @ b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize('"unterminated')
+
+    def test_string_with_newline(self):
+        with pytest.raises(LexerError):
+            tokenize('"line\nbreak"')
+
+    def test_malformed_hex(self):
+        with pytest.raises(LexerError):
+            tokenize("0x")
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexerError) as excinfo:
+            tokenize("ab\n  @")
+        assert excinfo.value.line == 2
+
+
+class TestRealisticSource:
+    def test_full_function_header(self):
+        source = "function invest(uint256 donations) public payable {"
+        token_texts = texts(source)
+        assert token_texts == [
+            "function", "invest", "(", "uint256", "donations", ")",
+            "public", "payable", "{",
+        ]
+
+    def test_ether_units_are_keywords(self):
+        tokens = tokenize("100 ether")[:-1]
+        assert tokens[0].value == 100
+        assert tokens[1].kind == TokenKind.KEYWORD
+        assert tokens[1].text == "ether"
+
+    def test_mapping_declaration(self):
+        token_texts = texts("mapping(address => uint256) invests;")
+        assert "=>" in token_texts

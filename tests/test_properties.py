@@ -1,0 +1,236 @@
+"""Property-based tests (hypothesis) for core invariants (DESIGN.md §6)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.blockchain import BlockContext
+from repro.chain.state import WorldState
+from repro.compiler.abi import decode_words, encode_words
+from repro.compiler.layout import StorageLayout
+from repro.core.masking import (
+    ALL_MUTATIONS,
+    MutationMask,
+    MutationType,
+    SeedMutator,
+    mutate_stream,
+)
+from repro.core.seeds import TxCall
+from repro.evm.machine import Machine, Message, keccak
+from repro.evm.opcodes import Op
+from repro.evm.trace import combine_and, combine_or, comparison_shadow
+from repro.lang.parser import parse_source
+
+U256 = 1 << 256
+u256 = st.integers(min_value=0, max_value=U256 - 1)
+
+
+def exec_binop(op: int, top: int, second: int):
+    """Run one binary opcode in a fresh machine; returns (result, machine)."""
+    code = bytes([0x7F]) + second.to_bytes(32, "big") + \
+        bytes([0x7F]) + top.to_bytes(32, "big") + \
+        bytes([op, 0x60, 0x00, Op.MSTORE, 0x60, 0x20, 0x60, 0x00, Op.RETURN])
+    world = WorldState()
+    world.account(1)
+    machine = Machine(world, BlockContext())
+    result = machine.execute(Message(address=1, caller=2, origin=2, value=0,
+                                     data=b"", gas=10 ** 6, code=code))
+    assert result.success, result.error
+    return int.from_bytes(result.returndata, "big"), machine
+
+
+class TestArithmeticProperties:
+    @given(a=u256, b=u256)
+    @settings(max_examples=60, deadline=None)
+    def test_add_is_mod_2_256(self, a, b):
+        result, machine = exec_binop(Op.ADD, a, b)
+        assert result == (a + b) % U256
+        # overflow event iff the mathematical result was truncated
+        assert bool(machine.trace.overflows) == (a + b >= U256)
+
+    @given(a=u256, b=u256)
+    @settings(max_examples=60, deadline=None)
+    def test_sub_is_mod_2_256(self, a, b):
+        result, machine = exec_binop(Op.SUB, a, b)
+        assert result == (a - b) % U256
+        assert bool(machine.trace.overflows) == (a < b)
+
+    @given(a=u256, b=u256)
+    @settings(max_examples=40, deadline=None)
+    def test_mul_is_mod_2_256(self, a, b):
+        result, machine = exec_binop(Op.MUL, a, b)
+        assert result == (a * b) % U256
+        assert bool(machine.trace.overflows) == (a * b >= U256)
+
+    @given(a=u256, b=u256)
+    @settings(max_examples=40, deadline=None)
+    def test_div_matches_python_floor(self, a, b):
+        result, _ = exec_binop(Op.DIV, a, b)
+        assert result == (a // b if b else 0)
+
+
+class TestShadowProperties:
+    @given(a=u256, b=u256)
+    @settings(max_examples=80, deadline=None)
+    def test_lt_distance_zero_iff_true(self, a, b):
+        shadow = comparison_shadow("LT", a, b, frozenset())
+        assert (shadow.dist_true == 0) == (a < b)
+        assert (shadow.dist_false == 0) == (a >= b)
+        assert shadow.dist_true == 0 or shadow.dist_false == 0
+
+    @given(a=u256, b=u256)
+    @settings(max_examples=80, deadline=None)
+    def test_eq_distance_zero_iff_equal(self, a, b):
+        shadow = comparison_shadow("EQ", a, b, frozenset())
+        assert (shadow.dist_true == 0) == (a == b)
+
+    @given(a=u256, b=u256)
+    @settings(max_examples=50, deadline=None)
+    def test_negation_is_involution(self, a, b):
+        shadow = comparison_shadow("GT", a, b, frozenset())
+        assert shadow.negated().negated() == shadow
+
+    @given(a1=u256, b1=u256, a2=u256, b2=u256)
+    @settings(max_examples=50, deadline=None)
+    def test_and_or_distance_consistency(self, a1, b1, a2, b2):
+        x = comparison_shadow("LT", a1, b1, frozenset())
+        y = comparison_shadow("LT", a2, b2, frozenset())
+        both = combine_and(x, y)
+        either = combine_or(x, y)
+        assert (both.dist_true == 0) == (a1 < b1 and a2 < b2)
+        assert (either.dist_true == 0) == (a1 < b1 or a2 < b2)
+
+
+class TestAbiProperties:
+    @given(words=st.lists(u256, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_roundtrip(self, words):
+        assert decode_words(encode_words(words)) == words
+
+    @given(words=st.lists(u256, min_size=1, max_size=6), value=u256)
+    @settings(max_examples=60, deadline=None)
+    def test_txcall_stream_roundtrip(self, words, value):
+        call = TxCall(function="f", args=words, value=value)
+        decoded = call.apply_stream(call.to_stream())
+        assert decoded.args == words
+        assert decoded.value == value
+
+
+class TestStorageLayoutProperties:
+    @given(n=st.integers(min_value=1, max_value=20),
+           key=u256, seed=st.integers(min_value=0, max_value=10 ** 9))
+    @settings(max_examples=50, deadline=None)
+    def test_mapping_slots_never_collide_with_scalars(self, n, key, seed):
+        """keccak(key ‖ slot) must not land in the scalar slot range."""
+        slot = seed % n
+        element = keccak(key.to_bytes(32, "big") + slot.to_bytes(32, "big"))
+        assert element >= n  # scalar slots are 0..n-1
+
+    @given(key1=u256, key2=u256, slot1=st.integers(0, 100),
+           slot2=st.integers(0, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_mapping_elements_unique(self, key1, key2, slot1, slot2):
+        if (key1, slot1) == (key2, slot2):
+            return
+        e1 = keccak(key1.to_bytes(32, "big") + slot1.to_bytes(32, "big"))
+        e2 = keccak(key2.to_bytes(32, "big") + slot2.to_bytes(32, "big"))
+        assert e1 != e2
+
+
+class TestMutationProperties:
+    @given(data=st.binary(min_size=32, max_size=160),
+           pos=st.integers(0, 200), n=st.integers(1, 64),
+           op=st.sampled_from(list(ALL_MUTATIONS)),
+           seed=st.integers(0, 1000))
+    @settings(max_examples=80, deadline=None)
+    def test_mutate_stream_size_law(self, data, pos, n, op, seed):
+        rng = random.Random(seed)
+        out = mutate_stream(data, op, pos, n, rng)
+        if op is MutationType.INSERT:
+            assert len(out) > len(data)
+        elif op is MutationType.DELETE:
+            assert len(out) < len(data)
+        else:
+            assert len(out) == len(data)
+
+    @given(allowed_word=st.integers(0, 2), seed=st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_masked_mutation_confined_to_allowed_region(self, allowed_word,
+                                                        seed):
+        rng = random.Random(seed)
+        mutator = SeedMutator(rng)
+        call = TxCall(function="f", args=[0xAB, 0xCD], value=0xEF)
+        mask = MutationMask(length=96)
+        lo, hi = allowed_word * 32, allowed_word * 32 + 32
+        for pos in range(lo, hi):
+            mask.allow(pos, MutationType.OVERWRITE)
+        mutated = mutator.masked_mutate(call, mask)
+        assert mutated is not None
+        original_words = [0xAB, 0xCD, 0xEF]
+        mutated_words = mutated.args + [mutated.value]
+        for i in range(3):
+            if i != allowed_word:
+                assert mutated_words[i] == original_words[i]
+
+
+class TestWorldStateProperties:
+    @given(ops=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 5), u256), max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_snapshot_revert_restores_exact_state(self, ops):
+        world = WorldState()
+        for slot in range(6):
+            world.set_storage(1, slot, slot * 7)
+        baseline = {slot: world.get_storage(1, slot)[0] for slot in range(6)}
+        token = world.snapshot()
+        for kind, slot, value in ops:
+            if kind == 0:
+                world.set_storage(1, slot, value)
+            elif kind == 1:
+                world.set_balance(slot, value)
+            elif kind == 2:
+                world.account(100 + slot)
+            else:
+                world.mark_destroyed(1)
+        world.revert_to(token)
+        for slot in range(6):
+            assert world.get_storage(1, slot)[0] == baseline[slot]
+        assert not world.is_destroyed(1)
+
+
+class TestCompilerProperties:
+    @given(a=st.integers(0, 10 ** 18), b=st.integers(0, 10 ** 18),
+           op=st.sampled_from(["+", "-", "*", "/", "%"]))
+    @settings(max_examples=30, deadline=None)
+    def test_compiled_arithmetic_matches_python(self, a, b, op):
+        from repro.chain import Chain
+        from repro.chain.transactions import Transaction
+        from repro.compiler import compile_source, encode_call
+        source = f"""
+        contract T {{
+            function f(uint256 a, uint256 b) public returns (uint256) {{
+                return a {op} b;
+            }}
+        }}
+        """
+        artifact = compile_source(source)
+        chain = Chain()
+        chain.create_account(0xA)
+        deployed = chain.deploy(artifact, sender=0xA)
+        fn = artifact.abi.function("f")
+        receipt = chain.apply(Transaction(
+            sender=0xA, to=deployed.address, data=encode_call(fn, [a, b])))
+        assert receipt.success
+        got = decode_words(receipt.returndata)[0]
+        if op == "+":
+            expected = (a + b) % U256
+        elif op == "-":
+            expected = (a - b) % U256
+        elif op == "*":
+            expected = (a * b) % U256
+        elif op == "/":
+            expected = a // b if b else 0
+        else:
+            expected = a % b if b else 0
+        assert got == expected

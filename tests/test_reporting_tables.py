@@ -1,0 +1,69 @@
+"""Tests for the reporting/rendering helpers used by the bench harness."""
+
+from repro.core.campaign import CampaignResult
+from repro.oracles.base import BugClass, Finding
+from repro.reporting.tables import (
+    format_curve,
+    format_percentage_bars,
+    format_table,
+)
+
+
+def finding(bug_class, pc=1, line=1):
+    return Finding(bug_class=bug_class, contract="T", pc=pc, line=line,
+                   description="x")
+
+
+class TestTables:
+    def test_format_table_pads_columns(self):
+        table = format_table(["a", "bbbb"], [["xxxxx", "y"]])
+        first, sep, row = table.splitlines()
+        assert len(first) == len(sep) == len(row)
+
+    def test_format_table_title_and_rule(self):
+        table = format_table(["h"], [["v"]], title="My Title")
+        assert table.splitlines()[0] == "My Title"
+        assert set(table.splitlines()[1]) == {"="}
+
+    def test_bars_scale_with_fraction(self):
+        chart = format_percentage_bars([("full", 1.0), ("half", 0.5)],
+                                       width=10)
+        full_line, half_line = chart.splitlines()
+        assert full_line.count("#") == 10
+        assert half_line.count("#") == 5
+        assert "100.0%" in full_line
+
+    def test_curve_steps_hold_last_value(self):
+        series = {"f": [(0, 0.1), (100, 0.5), (200, 0.9)]}
+        text = format_curve(series)
+        assert "50.0%" in text
+        assert "90.0%" in text
+
+    def test_empty_curve(self):
+        assert format_curve({"f": []}, title="t") == "t"
+
+
+class TestCampaignResult:
+    def _result(self):
+        return CampaignResult(
+            fuzzer="MuFuzz", contract="T", coverage=0.8, iterations=10,
+            total_steps=1000, wall_time=0.1,
+            findings=[finding(BugClass.IO, pc=1),
+                      finding(BugClass.IO, pc=2),
+                      finding(BugClass.RE, pc=3)],
+            curve=[(100, 0.2), (500, 0.6), (1000, 0.8)])
+
+    def test_bug_classes(self):
+        assert self._result().bug_classes == {BugClass.IO, BugClass.RE}
+
+    def test_findings_by_class(self):
+        grouped = self._result().findings_by_class()
+        assert len(grouped[BugClass.IO]) == 2
+        assert len(grouped[BugClass.RE]) == 1
+
+    def test_coverage_at_step_interpolates_backward(self):
+        result = self._result()
+        assert result.coverage_at_step(99) == 0.0
+        assert result.coverage_at_step(100) == 0.2
+        assert result.coverage_at_step(750) == 0.6
+        assert result.coverage_at_step(10_000) == 0.8

@@ -1,0 +1,96 @@
+"""Tests for the §VI prefix-state-cache extension."""
+
+import pytest
+
+from repro.core import Fuzzer, fuzz_contract, mufuzz_config
+from repro.core.seeds import Seed, TxCall
+from repro.core.statecache import PrefixStateCache, call_key
+from tests.conftest import CROWDSALE_SOURCE
+
+
+def calls(*specs):
+    return [TxCall(function=f, args=list(a), value=v, sender=s)
+            for f, a, v, s in specs]
+
+
+class TestCacheMechanics:
+    def test_call_key_covers_all_effect_inputs(self):
+        base = TxCall(function="f", args=[1], value=2, sender=3)
+        assert call_key(base) == call_key(base.clone())
+        for mutated in (
+                TxCall(function="g", args=[1], value=2, sender=3),
+                TxCall(function="f", args=[9], value=2, sender=3),
+                TxCall(function="f", args=[1], value=9, sender=3),
+                TxCall(function="f", args=[1], value=2, sender=9)):
+            assert call_key(mutated) != call_key(base)
+
+    def test_miss_on_empty_cache(self):
+        cache = PrefixStateCache()
+        depth, chain, trace = cache.longest_prefix(
+            calls(("f", [1], 0, 1)))
+        assert depth == 0 and chain is None and trace is None
+        assert cache.misses == 1
+
+    def test_lru_eviction(self):
+        from repro.chain import Chain
+        from repro.evm.trace import ExecutionTrace
+        cache = PrefixStateCache(capacity=2)
+        for i in range(4):
+            cache.insert(calls((f"f{i}", [i], 0, 1)), 1, Chain(),
+                         ExecutionTrace())
+        assert len(cache) == 2
+
+
+class TestCacheCorrectness:
+    """The cached path must produce bit-identical behaviour."""
+
+    def _final_storage(self, use_cache: bool):
+        config = mufuzz_config(iterations=80, rng_seed=21,
+                               use_state_cache=use_cache)
+        fuzzer = Fuzzer(CROWDSALE_SOURCE, config)
+        result = fuzzer.run()
+        return fuzzer, result
+
+    def test_coverage_identical_with_and_without_cache(self):
+        _, with_cache = self._final_storage(True)
+        _, without = self._final_storage(False)
+        assert with_cache.coverage == without.coverage
+        assert [f.key for f in with_cache.findings] == \
+            [f.key for f in without.findings]
+
+    def test_cache_actually_hits(self):
+        fuzzer, _ = self._final_storage(True)
+        stats = fuzzer.state_cache.stats()
+        assert stats["hits"] > 0
+        assert stats["steps_saved"] > 0
+
+    def test_cached_run_executes_fewer_steps(self):
+        fuzzer_cached, cached = self._final_storage(True)
+        _, plain = self._final_storage(False)
+        # identical campaigns; the cached one skipped replayed prefixes
+        assert cached.total_steps < plain.total_steps
+
+    def test_suffix_replay_matches_full_execution(self):
+        """Manually execute a sequence, then a one-call extension, and
+        check the cached suffix path equals a cold full execution."""
+        config = mufuzz_config(iterations=10, rng_seed=1,
+                               use_state_cache=True)
+        fuzzer = Fuzzer(CROWDSALE_SOURCE, config)
+        base = Seed(calls=calls(
+            ("invest", [10 ** 20], 0, 0x00CA_FE01),
+            ("invest", [5], 0, 0x00CA_FE01)))
+        fuzzer._execute(base)
+
+        extended = Seed(calls=base.calls + calls(
+            ("withdraw", [], 0, 0x00CA_FE01)))
+        warm = fuzzer._execute(extended)
+
+        cold_config = mufuzz_config(iterations=10, rng_seed=1,
+                                    use_state_cache=False)
+        cold_fuzzer = Fuzzer(CROWDSALE_SOURCE, cold_config)
+        cold = cold_fuzzer._execute(
+            Seed(calls=[c.clone() for c in extended.calls]))
+
+        warm_edges = {(pc, t) for a, pc, t in warm.branch_edges}
+        cold_edges = {(pc, t) for a, pc, t in cold.branch_edges}
+        assert warm_edges == cold_edges
