@@ -4,63 +4,47 @@ Paper reference values — Fig. 6: MuFuzz 90/82, IR-Fuzz 86/76, ConFuzzius
 82/70, sFuzz 65/56 (% on small/large); Fig. 5: MuFuzz dominates every
 baseline along the whole time axis and ramps fastest early.  The shape to
 reproduce is the ordering and the early ramp, not the absolute numbers.
+
+Runs on the campaign orchestrator (:func:`repro.orchestrator.run_matrix`):
+the contract × fuzzer matrix fans out across worker processes
+(``REPRO_BENCH_WORKERS`` sets the count) with per-cohort pinned RNG seeds,
+so results are identical to the former in-process loop at any parallelism.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import scaled
-from repro.core import (
-    Fuzzer,
-    confuzzius_config,
-    irfuzz_config,
-    mufuzz_config,
-    sfuzz_config,
-)
+from benchmarks.conftest import bench_workers, scaled
 from repro.corpus import generate_d1
+from repro.orchestrator import average_curves, run_matrix
 from repro.reporting import format_percentage_bars, format_table
 from repro.reporting.tables import format_curve
 
-FUZZERS = (mufuzz_config, irfuzz_config, confuzzius_config, sfuzz_config)
+#: preset registry keys, strongest first (display names come from results)
+PRESET_KEYS = ("mufuzz", "irfuzz", "confuzzius", "sfuzz")
+
+
+def _cohort_results(run, preset: str) -> list:
+    """One result per contract (single-trial matrix), job order."""
+    return [trials[0] for trials in run.results_for(preset).values()]
 
 
 def _run_cohort(contracts, iterations: int) -> dict:
     """Average final coverage and merged curves per fuzzer."""
+    run = run_matrix(
+        contracts, presets=PRESET_KEYS, trials=1,
+        overrides={"iterations": iterations, "rng_seed": 17},
+        workers=bench_workers())
+    assert not run.errors and not run.timeouts, run.errors + run.timeouts
     out = {}
-    for preset in FUZZERS:
-        name = preset().name
-        coverages = []
-        curves = []
-        for contract in contracts:
-            result = Fuzzer(contract.artifact,
-                            preset(iterations=iterations, rng_seed=17)).run()
-            coverages.append(result.coverage)
-            curves.append(result.curve)
-        out[name] = {
-            "coverage": sum(coverages) / len(coverages),
-            "curve": _average_curves(curves),
+    for preset in PRESET_KEYS:
+        results = _cohort_results(run, preset)
+        out[results[0].fuzzer] = {
+            "coverage": sum(r.coverage for r in results) / len(results),
+            "curve": average_curves([r.curve for r in results]),
         }
     return out
-
-
-def _average_curves(curves, points: int = 25) -> list:
-    """Resample every curve onto a common step axis and average."""
-    max_step = max((curve[-1][0] for curve in curves if curve), default=1)
-    xs = [int(max_step * i / points) for i in range(1, points + 1)]
-    averaged = []
-    for x in xs:
-        ys = []
-        for curve in curves:
-            y = 0.0
-            for step, cov in curve:
-                if step <= x:
-                    y = cov
-                else:
-                    break
-            ys.append(y)
-        averaged.append((x, sum(ys) / len(ys)))
-    return averaged
 
 
 @pytest.fixture(scope="module")
@@ -110,18 +94,25 @@ def test_fig6_slippage_summary(d1, report, benchmark):
     small, large = d1
 
     def measure():
+        small_run = run_matrix(
+            small, presets=PRESET_KEYS, trials=1,
+            overrides={"iterations": scaled(100, 300), "rng_seed": 5},
+            workers=bench_workers())
+        large_run = run_matrix(
+            large, presets=PRESET_KEYS, trials=1,
+            overrides={"iterations": scaled(80, 250), "rng_seed": 5},
+            workers=bench_workers())
+        for run in (small_run, large_run):
+            assert not run.errors and not run.timeouts, \
+                run.errors + run.timeouts
         rows = []
-        for preset in FUZZERS:
-            name = preset().name
-            small_cov = sum(
-                Fuzzer(c.artifact, preset(iterations=scaled(100, 300),
-                                          rng_seed=5)).run().coverage
-                for c in small) / len(small)
-            large_cov = sum(
-                Fuzzer(c.artifact, preset(iterations=scaled(80, 250),
-                                          rng_seed=5)).run().coverage
-                for c in large) / len(large)
-            rows.append([name, f"{small_cov:.1%}", f"{large_cov:.1%}",
+        for preset in PRESET_KEYS:
+            small_res = _cohort_results(small_run, preset)
+            large_res = _cohort_results(large_run, preset)
+            small_cov = sum(r.coverage for r in small_res) / len(small_res)
+            large_cov = sum(r.coverage for r in large_res) / len(large_res)
+            rows.append([small_res[0].fuzzer, f"{small_cov:.1%}",
+                         f"{large_cov:.1%}",
                          f"{small_cov - large_cov:+.1%}"])
         return rows
 

@@ -5,24 +5,24 @@ Paper reference totals: MuFuzz 195/20/0; IR-Fuzz 136/54/0; ConFuzzius
 68/30/3; Osiris 62/37/2; Slither 51/98/1; Securify 26/21/0.  The shape to
 reproduce: MuFuzz detects the most with the fewest misses; fuzzers beat
 static analyzers; Mythril loses much of the dataset to timeouts.
+
+The fuzzer rows run on the campaign orchestrator
+(:func:`repro.orchestrator.run_matrix`): one matrix per tool with its
+Table I oracle-capability set, fanned out across worker processes
+(``REPRO_BENCH_WORKERS``) with the cohort's pinned RNG seed — results are
+identical to the former in-process loop at any parallelism.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import scaled
+from benchmarks.conftest import bench_workers, scaled
 from repro.baselines import STATIC_ANALYZERS
-from repro.core import (
-    Fuzzer,
-    confuzzius_config,
-    irfuzz_config,
-    mufuzz_config,
-    sfuzz_config,
-    smartian_config,
-)
+from repro.core import preset_config
 from repro.corpus import generate_d2
 from repro.oracles.base import ALL_BUG_CLASSES, BugClass
+from repro.orchestrator import run_matrix
 from repro.reporting import (
     aggregate_fuzzer_detection,
     aggregate_static_detection,
@@ -43,8 +43,8 @@ FUZZER_SUPPORT = {
               BugClass.RE, BugClass.UE},
 }
 
-FUZZER_PRESETS = (mufuzz_config, irfuzz_config, confuzzius_config,
-                  smartian_config, sfuzz_config)
+FUZZER_PRESET_KEYS = ("mufuzz", "irfuzz", "confuzzius", "smartian",
+                      "sfuzz")
 
 
 @pytest.fixture(scope="module")
@@ -66,18 +66,22 @@ def d2():
 
 
 def _fuzzer_rows(corpus, iterations: int):
+    names = {key: preset_config(key).name for key in FUZZER_PRESET_KEYS}
+    supported = {key: FUZZER_SUPPORT[names[key]]
+                 for key in FUZZER_PRESET_KEYS}
+    # one matrix over all five tools keeps every worker busy to the end
+    # (per-job seeds are independent of matrix grouping)
+    run = run_matrix(
+        corpus, presets=FUZZER_PRESET_KEYS, trials=1,
+        overrides={"iterations": iterations, "rng_seed": 11},
+        supported=supported, workers=bench_workers())
+    assert not run.errors and not run.timeouts, run.errors + run.timeouts
     rows = []
-    for preset in FUZZER_PRESETS:
-        name = preset().name
-        supported = FUZZER_SUPPORT[name]
-        results = {}
-        for contract in corpus:
-            results[contract.name] = Fuzzer(
-                contract.artifact,
-                preset(iterations=iterations, rng_seed=11),
-                supported_bug_classes=supported).run()
-        cells = aggregate_fuzzer_detection(corpus, results, supported)
-        rows.append((name, cells))
+    for key in FUZZER_PRESET_KEYS:
+        results = {name: trials[0]
+                   for name, trials in run.results_for(key).items()}
+        cells = aggregate_fuzzer_detection(corpus, results, supported[key])
+        rows.append((names[key], cells))
     return rows
 
 

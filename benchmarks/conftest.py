@@ -27,6 +27,17 @@ def scaled(small: int, full: int) -> int:
     return full if SCALE == "full" else small
 
 
+def bench_workers() -> int | None:
+    """Worker processes for orchestrator-backed benches.
+
+    ``REPRO_BENCH_WORKERS`` overrides; unset means all CPU cores.  Results
+    are identical for any worker count — the orchestrator derives per-job
+    seeds deterministically — so this only trades wall-clock for cores.
+    """
+    value = os.environ.get("REPRO_BENCH_WORKERS")
+    return int(value) if value else None
+
+
 @pytest.fixture
 def report(capsys):
     """Print a result table to the real terminal and persist it."""

@@ -1,0 +1,38 @@
+// Figure 1 of the paper, translated to MiniSol: the crowdsale whose
+// refund/withdraw bugs need the [invest, refund, invest, withdraw]
+// sequence shape to reach.  Try:
+//   repro fuzz examples/crowdsale.sol --iterations 300
+//   repro campaign examples/crowdsale.sol --fuzzers mufuzz sfuzz --trials 2
+contract Crowdsale {
+    uint256 phase = 0;
+    uint256 goal;
+    uint256 invested;
+    address owner;
+    mapping(address => uint256) invests;
+
+    constructor() public {
+        goal = 100 ether;
+        invested = 0;
+        owner = msg.sender;
+    }
+    function invest(uint256 donations) public payable {
+        if (invested < goal) {
+            invests[msg.sender] += donations;
+            invested += donations;
+            phase = 0;
+        } else {
+            phase = 1;
+        }
+    }
+    function refund() public {
+        if (phase == 0) {
+            msg.sender.transfer(invests[msg.sender]);
+            invests[msg.sender] = 0;
+        }
+    }
+    function withdraw() public {
+        if (phase == 1) {
+            owner.transfer(invested);
+        }
+    }
+}

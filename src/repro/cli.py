@@ -3,6 +3,7 @@
 Commands
 --------
 ``fuzz FILE``      run a fuzzing campaign on a MiniSol source file
+``campaign``       run a contract × fuzzer × trial matrix across workers
 ``compile FILE``   compile and print bytecode size, ABI, storage layout
 ``disasm FILE``    disassemble the runtime bytecode
 ``analyze FILE``   print the sequence-aware data-flow analysis (§IV-A)
@@ -13,29 +14,15 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis.dataflow import analyze_contract
 from repro.analysis.disassembler import format_disassembly
 from repro.baselines import STATIC_ANALYZERS
 from repro.compiler import compile_source
-from repro.core import (
-    Fuzzer,
-    confuzzius_config,
-    irfuzz_config,
-    mufuzz_config,
-    sfuzz_config,
-    smartian_config,
-)
-from repro.reporting import format_table
-
-_PRESETS = {
-    "mufuzz": mufuzz_config,
-    "sfuzz": sfuzz_config,
-    "confuzzius": confuzzius_config,
-    "irfuzz": irfuzz_config,
-    "smartian": smartian_config,
-}
+from repro.core import PRESET_CONFIGS, Fuzzer
+from repro.reporting import format_percentage_bars, format_table
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,9 +35,42 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("file", help="MiniSol source file")
     fuzz.add_argument("--contract", default=None,
                       help="contract name (default: first in file)")
-    fuzz.add_argument("--fuzzer", choices=sorted(_PRESETS), default="mufuzz")
+    fuzz.add_argument("--fuzzer", choices=sorted(PRESET_CONFIGS),
+                      default="mufuzz")
     fuzz.add_argument("--iterations", type=int, default=300)
     fuzz.add_argument("--seed", type=int, default=1)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="run a contract × fuzzer × trial matrix across worker "
+             "processes, with resumable JSON result persistence")
+    camp.add_argument("files", nargs="*",
+                      help="MiniSol source files (default: a generated "
+                           "corpus sample, see --dataset/--count)")
+    camp.add_argument("--dataset", choices=("d1", "d2", "d3"), default="d2",
+                      help="corpus to sample when no files are given")
+    camp.add_argument("--count", type=int, default=4,
+                      help="number of corpus contracts to fuzz")
+    camp.add_argument("--fuzzers", nargs="+",
+                      choices=sorted(PRESET_CONFIGS),
+                      default=["mufuzz", "sfuzz"], metavar="FUZZER")
+    camp.add_argument("--trials", type=int, default=2,
+                      help="independent trials per (contract, fuzzer) cell")
+    camp.add_argument("--iterations", type=int, default=100)
+    camp.add_argument("--seed", type=int, default=1,
+                      help="matrix base seed; per-trial seeds derive "
+                           "deterministically from it")
+    camp.add_argument("--workers", type=int, default=None,
+                      help="worker processes (default: all CPU cores; "
+                           "1 = inline, no subprocesses — unless "
+                           "--job-timeout forces isolation)")
+    camp.add_argument("--results-dir", default=None,
+                      help="persist per-job JSON results here and skip "
+                           "already-completed jobs on rerun")
+    camp.add_argument("--job-timeout", type=float, default=None,
+                      help="per-job wall-clock timeout in seconds "
+                           "(measured from worker spawn, so include "
+                           "~1s of interpreter startup)")
 
     for name, help_text in (
             ("compile", "compile and show artifact summary"),
@@ -77,8 +97,8 @@ def _load(args) -> object:
 
 def cmd_fuzz(args) -> int:
     artifact = _load(args)
-    config = _PRESETS[args.fuzzer](iterations=args.iterations,
-                                   rng_seed=args.seed)
+    config = PRESET_CONFIGS[args.fuzzer](iterations=args.iterations,
+                                         rng_seed=args.seed)
     fuzzer = Fuzzer(artifact, config)
     result = fuzzer.run()
     print(f"{result.fuzzer} on {result.contract}: "
@@ -94,6 +114,105 @@ def cmd_fuzz(args) -> int:
     else:
         print("no findings")
     return 0
+
+
+def _campaign_contracts(args) -> list:
+    """(name, source) pairs / corpus entries for the campaign matrix."""
+    if args.files:
+        contracts = []
+        used: set = set()
+        for path in args.files:
+            with open(path) as handle:
+                source = handle.read()
+            base = os.path.splitext(os.path.basename(path))[0]
+            # files may share a basename; job names must be unique
+            name, suffix = base, 1
+            while name in used:
+                suffix += 1
+                name = f"{base}-{suffix}"
+            used.add(name)
+            contracts.append((name, source))
+        return contracts
+    return _sample_corpus(args.dataset, args.count)
+
+
+def _sample_corpus(dataset: str, count: int) -> list:
+    """``count`` contracts from a generated dataset (shared by the
+    ``corpus`` and ``campaign`` subcommands so the same flags yield the
+    same sample)."""
+    from repro.corpus import generate_d1, generate_d2, generate_d3
+    if dataset == "d1":
+        # keep D1's small/large mix within the requested count (larges
+        # are generated after smalls, so slicing would drop them all);
+        # any sample of 2+ includes at least one large contract
+        n_large = max(1, count // 4) if count > 1 else 0
+        return generate_d1(n_small=count - n_large, n_large=n_large)
+    if dataset == "d2":
+        return generate_d2()[:count]
+    return generate_d3(count=count)
+
+
+def cmd_campaign(args) -> int:
+    from repro.orchestrator import (
+        fuzzer_coverage_bars,
+        matrix_table,
+        resolve_workers,
+        run_matrix,
+    )
+
+    contracts = _campaign_contracts(args)
+    workers = resolve_workers(args.workers)
+    # tolerate repeated --fuzzers values (they would collide as job ids)
+    args.fuzzers = list(dict.fromkeys(args.fuzzers))
+    total = len(contracts) * len(args.fuzzers) * args.trials
+    print(f"campaign matrix: {len(contracts)} contracts x "
+          f"{len(args.fuzzers)} fuzzers x {args.trials} trials = "
+          f"{total} jobs on {workers} worker(s)")
+    if total <= 0:
+        print("empty campaign matrix: check --count/--trials and the "
+              "input files")
+        return 2
+
+    def progress(outcome):
+        if outcome.ok:
+            detail = (f"{outcome.result.coverage:.1%} coverage, "
+                      f"{len(outcome.result.findings)} finding(s)")
+        else:
+            detail = outcome.error.strip().splitlines()[-1]
+        print(f"  [{outcome.status}] {outcome.job.job_id}: {detail} "
+              f"({outcome.elapsed:.2f}s)")
+
+    run = run_matrix(
+        contracts, presets=args.fuzzers, trials=args.trials,
+        base_seed=args.seed, overrides={"iterations": args.iterations},
+        workers=workers, results_dir=args.results_dir,
+        job_timeout=args.job_timeout, progress=progress)
+
+    if run.results_dir is not None:
+        print(f"results dir: {run.results_dir} "
+              f"({run.cached} cached, {run.executed} executed)")
+    print()
+
+    summaries = run.summaries()
+    if summaries:
+        headers, rows = matrix_table(summaries)
+        print(format_table(headers, rows,
+                           title="campaign matrix - per-cell aggregate over "
+                                 "trials"))
+        print()
+        print(format_percentage_bars(
+            fuzzer_coverage_bars(summaries),
+            title="mean branch coverage per fuzzer"))
+    failures = run.errors + run.timeouts
+    if failures:
+        print()
+        rows = [[o.job.job_id, o.status,
+                 o.error.strip().splitlines()[-1][:70]] for o in failures]
+        print(format_table(["job", "status", "detail"], rows,
+                           title="failed jobs (retried on next run)"))
+    # nonzero whenever any cell failed, so scripts/CI never mistake a
+    # partially-failed campaign for a clean one
+    return 0 if summaries and not failures else 1
 
 
 def cmd_compile(args) -> int:
@@ -161,14 +280,7 @@ def cmd_scan(args) -> int:
 
 
 def cmd_corpus(args) -> int:
-    from repro.corpus import generate_d1, generate_d2, generate_d3
-    if args.dataset == "d1":
-        corpus = generate_d1(n_small=args.count, n_large=max(1,
-                                                             args.count // 4))
-    elif args.dataset == "d2":
-        corpus = generate_d2()[:args.count]
-    else:
-        corpus = generate_d3(count=args.count)
+    corpus = _sample_corpus(args.dataset, args.count)
     rows = []
     for contract in corpus:
         rows.append([
@@ -188,6 +300,7 @@ def cmd_corpus(args) -> int:
 
 _COMMANDS = {
     "fuzz": cmd_fuzz,
+    "campaign": cmd_campaign,
     "compile": cmd_compile,
     "disasm": cmd_disasm,
     "analyze": cmd_analyze,

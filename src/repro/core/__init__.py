@@ -10,7 +10,9 @@ with individual strategies swapped out — exactly how the paper's ablation
 
 from repro.core.config import (
     FuzzerConfig,
+    PRESET_CONFIGS,
     mufuzz_config,
+    preset_config,
     sfuzz_config,
     confuzzius_config,
     irfuzz_config,
@@ -26,6 +28,8 @@ from repro.core.fuzzer import Fuzzer, fuzz_contract
 
 __all__ = [
     "FuzzerConfig",
+    "PRESET_CONFIGS",
+    "preset_config",
     "mufuzz_config",
     "sfuzz_config",
     "confuzzius_config",

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.oracles.base import Finding
+
 
 @dataclass
 class CampaignResult:
@@ -43,3 +45,39 @@ class CampaignResult:
             else:
                 break
         return best
+
+    # -- persistence (orchestrator result store) ---------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        return {
+            "fuzzer": self.fuzzer,
+            "contract": self.contract,
+            "coverage": self.coverage,
+            "iterations": self.iterations,
+            "total_steps": self.total_steps,
+            "wall_time": self.wall_time,
+            "findings": [f.to_dict() for f in self.findings],
+            "curve": [[int(step), float(cov)] for step, cov in self.curve],
+            "seeds_in_queue": self.seeds_in_queue,
+            "transactions": self.transactions,
+            "example_sequence": list(self.example_sequence),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignResult":
+        return cls(
+            fuzzer=data["fuzzer"],
+            contract=data["contract"],
+            coverage=float(data["coverage"]),
+            iterations=int(data["iterations"]),
+            total_steps=int(data["total_steps"]),
+            wall_time=float(data.get("wall_time", 0.0)),
+            findings=[Finding.from_dict(f)
+                      for f in data.get("findings", ())],
+            curve=[(int(step), float(cov))
+                   for step, cov in data.get("curve", ())],
+            seeds_in_queue=int(data.get("seeds_in_queue", 0)),
+            transactions=int(data.get("transactions", 0)),
+            example_sequence=list(data.get("example_sequence", ())),
+        )

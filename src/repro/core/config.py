@@ -123,3 +123,25 @@ def smartian_config(**overrides) -> FuzzerConfig:
         energy_strategy=ENERGY_UNIFORM,
         reexecution_overhead=1.6,
     ).variant(**overrides)
+
+
+#: preset key → config factory; the shared registry behind ``repro fuzz
+#: --fuzzer``, ``repro campaign --fuzzers`` and the orchestrator job model.
+PRESET_CONFIGS = {
+    "mufuzz": mufuzz_config,
+    "sfuzz": sfuzz_config,
+    "confuzzius": confuzzius_config,
+    "irfuzz": irfuzz_config,
+    "smartian": smartian_config,
+}
+
+
+def preset_config(preset: str, **overrides) -> FuzzerConfig:
+    """Build a :class:`FuzzerConfig` from a registry key plus overrides."""
+    try:
+        factory = PRESET_CONFIGS[preset]
+    except KeyError:
+        raise ValueError(
+            f"unknown fuzzer preset {preset!r}; "
+            f"known: {', '.join(sorted(PRESET_CONFIGS))}") from None
+    return factory(**overrides)

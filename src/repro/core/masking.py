@@ -71,25 +71,34 @@ class MutationMask:
 
     length: int
     allowed: dict = field(default_factory=dict)  # pos -> set[MutationType]
+    _pairs: list | None = field(default=None, init=False, repr=False,
+                                compare=False)
 
     def allow(self, pos: int, mutation: MutationType) -> None:
         self.allowed.setdefault(pos, set()).add(mutation)
+        self._pairs = None
 
     def ok_to_mutate(self, pos: int, mutation: MutationType) -> bool:
         """Algorithm 1's OKTOMUTATE."""
         return mutation in self.allowed.get(pos, ())
 
     def allowed_pairs(self) -> list:
-        out = []
-        for pos, mutations in self.allowed.items():
-            for mutation in mutations:
-                out.append((pos, mutation))
-        return out
+        # sorted: MutationType hashes by object id, so raw set order would
+        # vary with process memory layout and break cross-process
+        # reproducibility of campaigns (the orchestrator's determinism
+        # guarantee); cached because masks are reused across iterations
+        if self._pairs is None:
+            self._pairs = [
+                (pos, mutation)
+                for pos, mutations in self.allowed.items()
+                for mutation in sorted(mutations, key=lambda m: m.value)]
+        return self._pairs
 
     def spread(self, length: int) -> None:
         """Let unprobed positions inherit the nearest probed verdict."""
         if not self.allowed:
             return
+        self._pairs = None
         probed = sorted(self.allowed)
         for pos in range(length):
             if pos in self.allowed:

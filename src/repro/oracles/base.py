@@ -44,6 +44,26 @@ class Finding:
         """Deduplication key: one finding per (class, pc)."""
         return (self.bug_class, self.pc)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        return {
+            "bug_class": self.bug_class.value,
+            "contract": self.contract,
+            "pc": self.pc,
+            "line": self.line,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(
+            bug_class=BugClass(data["bug_class"]),
+            contract=data["contract"],
+            pc=int(data["pc"]),
+            line=int(data["line"]),
+            description=data["description"],
+        )
+
 
 @dataclass
 class OracleContext:

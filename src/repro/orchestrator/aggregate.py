@@ -1,0 +1,153 @@
+"""Aggregating campaign-matrix outcomes into paper-style statistics.
+
+Trials of the same (contract, preset) cell merge into a
+:class:`TrialSummary` (mean/best coverage, per-class detection rates,
+averaged coverage-vs-steps curve); summaries roll up into the tables the
+existing :mod:`repro.reporting` renderers draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.campaign import CampaignResult
+from repro.oracles.base import FindingCollector
+
+
+def average_curves(curves, points: int = 25) -> list:
+    """Resample (step, coverage) curves onto a shared step axis and average
+    them — the merge the coverage figures (Fig. 5) plot."""
+    curves = [curve for curve in curves]
+    max_step = max((curve[-1][0] for curve in curves if curve), default=1)
+    xs = [int(max_step * i / points) for i in range(1, points + 1)]
+    averaged = []
+    for x in xs:
+        ys = []
+        for curve in curves:
+            y = 0.0
+            for step, cov in curve:
+                if step <= x:
+                    y = cov
+                else:
+                    break
+            ys.append(y)
+        averaged.append((x, sum(ys) / len(ys) if ys else 0.0))
+    return averaged
+
+
+@dataclass
+class TrialSummary:
+    """Statistics for one (contract, preset) cell across its trials."""
+
+    fuzzer: str
+    contract: str
+    preset: str
+    trials: int
+    mean_coverage: float
+    best_coverage: float
+    mean_steps: float
+    #: BugClass → fraction of trials that detected it
+    detection_rates: dict = field(default_factory=dict)
+    #: merged (step, coverage) curve across trials
+    curve: list = field(default_factory=list)
+
+    @property
+    def bug_classes(self) -> set:
+        return set(self.detection_rates)
+
+
+def group_outcomes(outcomes) -> dict:
+    """(preset, contract name) → list of ok CampaignResults, job order."""
+    groups: dict = {}
+    for outcome in outcomes:
+        if not outcome.ok:
+            continue
+        key = (outcome.job.preset, outcome.job.name)
+        groups.setdefault(key, []).append(outcome.result)
+    return groups
+
+
+def summarize(outcomes) -> list:
+    """One :class:`TrialSummary` per (preset, contract) with ok trials."""
+    summaries = []
+    for (preset, contract), results in group_outcomes(outcomes).items():
+        rates: dict = {}
+        for result in results:
+            for bug_class in result.bug_classes:
+                rates[bug_class] = rates.get(bug_class, 0) + 1
+        n = len(results)
+        summaries.append(TrialSummary(
+            fuzzer=results[0].fuzzer,
+            contract=contract,
+            preset=preset,
+            trials=n,
+            mean_coverage=sum(r.coverage for r in results) / n,
+            best_coverage=max(r.coverage for r in results),
+            mean_steps=sum(r.total_steps for r in results) / n,
+            detection_rates={bc: count / n
+                             for bc, count in sorted(
+                                 rates.items(),
+                                 key=lambda kv: kv[0].value)},
+            curve=average_curves([r.curve for r in results]),
+        ))
+    return summaries
+
+
+def merge_trials(results) -> CampaignResult:
+    """Collapse one cell's trials into a single CampaignResult: mean
+    coverage, union of findings (deduplicated), averaged curve.  This is
+    the shape :func:`repro.reporting.aggregate_fuzzer_detection` consumes
+    when a matrix ran multiple trials per contract."""
+    results = list(results)
+    if not results:
+        raise ValueError("merge_trials needs at least one result")
+    collector = FindingCollector()
+    for result in results:
+        collector.extend(result.findings)
+    n = len(results)
+    return CampaignResult(
+        fuzzer=results[0].fuzzer,
+        contract=results[0].contract,
+        coverage=sum(r.coverage for r in results) / n,
+        iterations=sum(r.iterations for r in results),
+        total_steps=sum(r.total_steps for r in results),
+        wall_time=sum(r.wall_time for r in results),
+        findings=collector.all(),
+        curve=average_curves([r.curve for r in results]),
+        seeds_in_queue=max(r.seeds_in_queue for r in results),
+        transactions=sum(r.transactions for r in results),
+        example_sequence=list(results[-1].example_sequence),
+    )
+
+
+def merged_results(outcomes) -> dict:
+    """preset → {contract name → merged CampaignResult}."""
+    merged: dict = {}
+    for (preset, contract), results in group_outcomes(outcomes).items():
+        merged.setdefault(preset, {})[contract] = merge_trials(results)
+    return merged
+
+
+def matrix_table(summaries) -> tuple:
+    """(headers, rows) for :func:`repro.reporting.format_table`."""
+    headers = ["fuzzer", "contract", "trials", "mean cov", "best cov",
+               "mean steps", "bugs found"]
+    rows = []
+    for s in sorted(summaries, key=lambda s: (s.fuzzer, s.contract)):
+        classes = ",".join(
+            f"{bc.value}" + ("" if rate >= 1.0 else f"({rate:.0%})")
+            for bc, rate in s.detection_rates.items()) or "-"
+        rows.append([s.fuzzer, s.contract, s.trials,
+                     f"{s.mean_coverage:.1%}", f"{s.best_coverage:.1%}",
+                     f"{s.mean_steps:,.0f}", classes])
+    return headers, rows
+
+
+def fuzzer_coverage_bars(summaries) -> list:
+    """(fuzzer display name, mean coverage over contracts) entries for
+    :func:`repro.reporting.format_percentage_bars`."""
+    by_fuzzer: dict = {}
+    for s in summaries:
+        by_fuzzer.setdefault(s.fuzzer, []).append(s.mean_coverage)
+    return [(name, sum(covs) / len(covs))
+            for name, covs in by_fuzzer.items()]

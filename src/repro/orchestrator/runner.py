@@ -1,0 +1,104 @@
+"""The orchestrator entry point: run a campaign matrix end to end.
+
+``run_matrix`` expands contracts × presets × trials into jobs, skips the
+cells a :class:`~repro.orchestrator.store.ResultStore` already holds
+(matching fingerprints only), fans the rest out over the worker pool, and
+persists fresh results — so an interrupted matrix resumes where it left
+off and a finished one is a pure cache hit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.orchestrator import aggregate
+from repro.orchestrator.jobs import build_matrix
+from repro.orchestrator.pool import run_jobs
+from repro.orchestrator.store import ResultStore
+
+
+@dataclass
+class MatrixRun:
+    """Everything one matrix run produced, in job order."""
+
+    outcomes: list
+    cached: int = 0
+    executed: int = 0
+    elapsed: float = 0.0
+    results_dir: str | None = None
+
+    @property
+    def errors(self) -> list:
+        return [o for o in self.outcomes if o.status == "error"]
+
+    @property
+    def timeouts(self) -> list:
+        return [o for o in self.outcomes if o.status == "timeout"]
+
+    def ok_results(self) -> list:
+        """(job, CampaignResult) pairs for every successful cell."""
+        return [(o.job, o.result) for o in self.outcomes if o.ok]
+
+    def results_for(self, preset: str) -> dict:
+        """contract name → list of trial CampaignResults for one preset."""
+        return {contract: results
+                for (p, contract), results
+                in aggregate.group_outcomes(self.outcomes).items()
+                if p == preset}
+
+    def summaries(self) -> list:
+        return aggregate.summarize(self.outcomes)
+
+    def merged_results(self) -> dict:
+        return aggregate.merged_results(self.outcomes)
+
+
+def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
+               overrides: dict | None = None, supported: dict | None = None,
+               workers: int | None = None, results_dir=None,
+               job_timeout: float | None = None,
+               progress=None) -> MatrixRun:
+    """Run (or resume) a campaign matrix; see module docstring.
+
+    ``results_dir=None`` keeps everything in memory (no persistence,
+    nothing skipped).  ``workers=None`` uses ``os.cpu_count()``;
+    ``workers=1`` runs inline with no subprocesses.
+    """
+    start = time.perf_counter()
+    jobs = build_matrix(contracts, presets, trials=trials,
+                        base_seed=base_seed, overrides=overrides,
+                        supported=supported)
+
+    store = ResultStore(results_dir) if results_dir is not None else None
+    cached: dict = {}
+    pending = []
+    for job in jobs:
+        outcome = store.load(job) if store is not None else None
+        if outcome is not None:
+            cached[job.job_id] = outcome
+        else:
+            pending.append(job)
+
+    fresh = {}
+    if pending:
+        def on_settle(outcome):
+            if store is not None:
+                store.save(outcome)
+            if progress is not None:
+                progress(outcome)
+
+        for outcome in run_jobs(pending, workers=workers,
+                                job_timeout=job_timeout,
+                                progress=on_settle):
+            fresh[outcome.job.job_id] = outcome
+
+    outcomes = [cached[job.job_id] if job.job_id in cached
+                else fresh[job.job_id] for job in jobs]
+    return MatrixRun(
+        outcomes=outcomes,
+        cached=len(cached),
+        executed=len(fresh),
+        elapsed=time.perf_counter() - start,
+        results_dir=None if results_dir is None else str(results_dir),
+    )

@@ -1,0 +1,86 @@
+"""Persistent, resumable JSON store for campaign results.
+
+One file per job under the results directory, named by ``job_id``.  Files
+are written in canonical form — sorted keys, fixed separators, trailing
+newline, and ``wall_time`` normalized to 0.0 — so two runs of the same
+matrix with the same seeds produce *byte-identical* artifacts no matter
+the worker count or scheduling order.  Wall-clock timing is environment
+noise; the scheduler reports it live but it never enters the store.
+
+Each record carries the job's content :meth:`fingerprint
+<repro.orchestrator.jobs.CampaignJob.fingerprint>`; a cached result is
+only reused when the fingerprint still matches, so editing a contract or
+a config re-runs exactly the affected cells.  Only ``ok`` outcomes are
+persisted — errors and timeouts are retried on the next run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.campaign import CampaignResult
+from repro.orchestrator.jobs import CampaignJob, JobOutcome
+
+SCHEMA_VERSION = 1
+
+
+def canonical_json(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, indent=2,
+                      separators=(",", ": ")) + "\n"
+
+
+class ResultStore:
+    """Directory of per-job campaign result records."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, job: CampaignJob) -> Path:
+        return self.root / f"{job.job_id}.json"
+
+    def load(self, job: CampaignJob) -> JobOutcome | None:
+        """The cached outcome for ``job``, or None when absent or stale."""
+        path = self.path_for(job)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if (not isinstance(record, dict)
+                or record.get("schema") != SCHEMA_VERSION
+                or record.get("fingerprint") != job.fingerprint()
+                or record.get("status") != "ok"):
+            return None
+        try:
+            result = CampaignResult.from_dict(record["result"])
+        except (KeyError, ValueError, TypeError):
+            return None
+        return JobOutcome(job=job, status="ok", result=result)
+
+    def save(self, outcome: JobOutcome) -> Path | None:
+        """Persist an ``ok`` outcome; no-op for errors and timeouts."""
+        if not outcome.ok:
+            return None
+        job = outcome.job
+        result_data = outcome.result.to_dict()
+        result_data["wall_time"] = 0.0
+        record = {
+            "schema": SCHEMA_VERSION,
+            "job_id": job.job_id,
+            "fingerprint": job.fingerprint(),
+            "name": job.name,
+            "preset": job.preset,
+            "trial": job.trial,
+            "rng_seed": job.derived_seed(),
+            "status": outcome.status,
+            "result": result_data,
+        }
+        path = self.path_for(job)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(canonical_json(record))
+        tmp.replace(path)
+        return path
+
+    def completed_ids(self) -> set:
+        return {path.stem for path in self.root.glob("*.json")}

@@ -1,0 +1,96 @@
+"""JSON round-trips for CampaignResult/Finding and coverage_at_step edges."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.campaign import CampaignResult
+from repro.oracles.base import BugClass, Finding
+
+
+def _sample_finding() -> Finding:
+    return Finding(bug_class=BugClass.RE, contract="Bank", pc=42, line=7,
+                   description="reentrant external call before state write")
+
+
+def _sample_result() -> CampaignResult:
+    return CampaignResult(
+        fuzzer="MuFuzz",
+        contract="Bank",
+        coverage=0.875,
+        iterations=300,
+        total_steps=123_456,
+        wall_time=1.25,
+        findings=[_sample_finding(),
+                  Finding(bug_class=BugClass.IO, contract="Bank", pc=10,
+                          line=3, description="unchecked addition")],
+        curve=[(100, 0.25), (500, 0.5), (2000, 0.875)],
+        seeds_in_queue=9,
+        transactions=1234,
+        example_sequence=["deposit", "withdraw"],
+    )
+
+
+class TestFindingRoundTrip:
+    def test_identity(self):
+        finding = _sample_finding()
+        assert Finding.from_dict(finding.to_dict()) == finding
+
+    def test_survives_json(self):
+        finding = _sample_finding()
+        revived = Finding.from_dict(json.loads(json.dumps(finding.to_dict())))
+        assert revived == finding
+        assert isinstance(revived.bug_class, BugClass)
+
+    def test_every_bug_class_revives(self):
+        for bug_class in BugClass:
+            finding = Finding(bug_class=bug_class, contract="C", pc=1,
+                              line=1, description="x")
+            assert Finding.from_dict(finding.to_dict()).bug_class is bug_class
+
+
+class TestCampaignResultRoundTrip:
+    def test_identity(self):
+        result = _sample_result()
+        assert CampaignResult.from_dict(result.to_dict()) == result
+
+    def test_survives_json(self):
+        result = _sample_result()
+        revived = CampaignResult.from_dict(
+            json.loads(json.dumps(result.to_dict())))
+        assert revived == result
+        # curve points come back as hashable tuples, findings as Findings
+        assert revived.curve[0] == (100, 0.25)
+        assert isinstance(revived.curve[0], tuple)
+        assert revived.bug_classes == {BugClass.RE, BugClass.IO}
+
+    def test_optional_fields_default(self):
+        minimal = {"fuzzer": "sFuzz", "contract": "C", "coverage": 0.5,
+                   "iterations": 10, "total_steps": 100}
+        result = CampaignResult.from_dict(minimal)
+        assert result.wall_time == 0.0
+        assert result.findings == []
+        assert result.curve == []
+        assert result.example_sequence == []
+
+
+class TestCoverageAtStep:
+    def test_empty_curve_is_zero_everywhere(self):
+        result = _sample_result()
+        result.curve = []
+        assert result.coverage_at_step(0) == 0.0
+        assert result.coverage_at_step(10_000) == 0.0
+
+    def test_step_before_first_sample_is_zero(self):
+        assert _sample_result().coverage_at_step(99) == 0.0
+
+    def test_exact_step_hit_returns_that_sample(self):
+        result = _sample_result()
+        assert result.coverage_at_step(100) == 0.25
+        assert result.coverage_at_step(500) == 0.5
+
+    def test_step_between_samples_keeps_previous_value(self):
+        assert _sample_result().coverage_at_step(1999) == 0.5
+
+    def test_step_past_last_sample_is_final_coverage(self):
+        assert _sample_result().coverage_at_step(10**9) == 0.875

@@ -56,6 +56,26 @@ class TestCli:
         assert "D2 sample" in out
         assert "Vuln0" in out
 
+    def test_campaign_runs_and_resumes(self, capsys, tmp_path,
+                                       crowdsale_file):
+        results_dir = str(tmp_path / "results")
+        argv = ("campaign", crowdsale_file, "--fuzzers", "mufuzz", "sfuzz",
+                "--trials", "2", "--iterations", "15", "--workers", "1",
+                "--results-dir", results_dir)
+        out = run_cli(capsys, *argv)
+        assert "campaign matrix: 1 contracts x 2 fuzzers x 2 trials" in out
+        assert "0 cached, 4 executed" in out
+        assert "MuFuzz" in out and "sFuzz" in out
+        assert "mean branch coverage per fuzzer" in out
+        rerun = run_cli(capsys, *argv)
+        assert "4 cached, 0 executed" in rerun
+
+    def test_campaign_on_corpus_sample(self, capsys, tmp_path):
+        out = run_cli(capsys, "campaign", "--dataset", "d2", "--count", "2",
+                      "--fuzzers", "mufuzz", "--trials", "1",
+                      "--iterations", "15", "--workers", "1")
+        assert "Vuln0" in out and "Vuln1" in out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["bogus"])

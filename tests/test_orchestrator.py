@@ -1,0 +1,232 @@
+"""The campaign orchestrator: job model, pool, store, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.campaign import CampaignResult
+from repro.oracles.base import BugClass, Finding
+from repro.orchestrator import (
+    CampaignJob,
+    ResultStore,
+    build_matrix,
+    execute_job,
+    merge_trials,
+    run_jobs,
+    run_matrix,
+    summarize,
+)
+from tests.conftest import CROWDSALE_SOURCE, GAME_SOURCE
+
+BROKEN_SOURCE = "contract Broken { function f( public"
+
+#: tiny budget: orchestration behaviour, not fuzzing quality, is under test
+FAST = {"iterations": 15}
+
+
+def _job(**kw) -> CampaignJob:
+    base = dict(name="Crowdsale", source=CROWDSALE_SOURCE,
+                preset="mufuzz", overrides=dict(FAST))
+    base.update(kw)
+    return CampaignJob(**base)
+
+
+class TestJobModel:
+    def test_trial_seeds_are_distinct_and_stable(self):
+        seeds = [_job(trial=t).derived_seed() for t in range(10)]
+        assert len(set(seeds)) == 10
+        assert seeds == [_job(trial=t).derived_seed() for t in range(10)]
+
+    def test_seed_varies_along_every_matrix_axis(self):
+        base = _job().derived_seed()
+        assert _job(preset="sfuzz").derived_seed() != base
+        assert _job(name="Other").derived_seed() != base
+        assert _job(base_seed=2).derived_seed() != base
+
+    def test_explicit_rng_seed_bypasses_derivation(self):
+        job = _job(overrides={"rng_seed": 17})
+        assert job.derived_seed() == 17
+        assert job.build_config().rng_seed == 17
+
+    def test_config_comes_from_preset_registry(self):
+        config = _job(overrides={"iterations": 33}).build_config()
+        assert config.name == "MuFuzz"
+        assert config.iterations == 33
+        with pytest.raises(ValueError):
+            _job(preset="nonesuch").build_config()
+
+    def test_job_id_is_filesystem_safe(self):
+        job_id = _job(name="weird name/../x").job_id
+        assert "/" not in job_id and " " not in job_id
+
+    def test_fingerprint_tracks_content(self):
+        assert _job().fingerprint() == _job().fingerprint()
+        assert _job().fingerprint() != _job(source=GAME_SOURCE).fingerprint()
+        assert _job().fingerprint() != \
+            _job(overrides={"iterations": 16}).fingerprint()
+
+    def test_supported_classes_round_trip(self):
+        job = _job(supported_bug_classes=["RE", "IO"])
+        assert job.supported_set() == {BugClass.RE, BugClass.IO}
+        assert CampaignJob.from_dict(job.to_dict()) == job
+
+    def test_build_matrix_shape_and_uniqueness(self):
+        jobs = build_matrix(
+            [("Crowdsale", CROWDSALE_SOURCE), ("Game", GAME_SOURCE)],
+            presets=("mufuzz", "sfuzz"), trials=2)
+        assert len(jobs) == 8
+        assert len({job.job_id for job in jobs}) == 8
+
+    def test_build_matrix_rejects_duplicate_contract_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            build_matrix([("A", CROWDSALE_SOURCE), ("A", GAME_SOURCE)],
+                         presets=("mufuzz",))
+
+
+class TestExecuteJob:
+    def test_ok_outcome_carries_result(self):
+        outcome = execute_job(_job())
+        assert outcome.ok and outcome.status == "ok"
+        assert isinstance(outcome.result, CampaignResult)
+        assert outcome.result.iterations > 0
+
+    def test_compile_error_is_captured_not_raised(self):
+        outcome = execute_job(_job(name="Broken", source=BROKEN_SOURCE))
+        assert outcome.status == "error"
+        assert outcome.result is None
+        assert outcome.error  # traceback text
+
+
+class TestResultStore:
+    def test_save_load_round_trip(self, tmp_path):
+        job = _job()
+        outcome = execute_job(job)
+        store = ResultStore(tmp_path)
+        assert store.save(outcome) is not None
+        loaded = store.load(job)
+        assert loaded is not None and loaded.ok
+        # wall-clock time is normalized out of the canonical artifact
+        expected = CampaignResult.from_dict(
+            {**outcome.result.to_dict(), "wall_time": 0.0})
+        assert loaded.result == expected
+
+    def test_stale_fingerprint_is_not_reused(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(execute_job(_job()))
+        edited = _job(source=CROWDSALE_SOURCE + "\n// edited\n")
+        assert store.path_for(edited) == store.path_for(_job())
+        assert store.load(edited) is None
+
+    def test_failures_are_not_persisted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        outcome = execute_job(_job(name="Broken", source=BROKEN_SOURCE))
+        assert store.save(outcome) is None
+        assert store.completed_ids() == set()
+
+    def test_persisted_bytes_are_reproducible(self, tmp_path):
+        job = _job()
+        store = ResultStore(tmp_path)
+        store.save(execute_job(job))
+        first = store.path_for(job).read_bytes()
+        store.save(execute_job(job))
+        assert store.path_for(job).read_bytes() == first
+
+
+class TestRunMatrix:
+    def test_resume_skips_completed_jobs(self, tmp_path):
+        contracts = [("Crowdsale", CROWDSALE_SOURCE)]
+        kw = dict(presets=("mufuzz", "sfuzz"), trials=2, overrides=FAST,
+                  workers=1, results_dir=tmp_path)
+        first = run_matrix(contracts, **kw)
+        assert first.executed == 4 and first.cached == 0
+        second = run_matrix(contracts, **kw)
+        assert second.executed == 0 and second.cached == 4
+        assert [(o.job.job_id, o.result) for o in second.outcomes] == \
+            [(o.job.job_id,
+              CampaignResult.from_dict(
+                  {**o.result.to_dict(), "wall_time": 0.0}))
+             for o in first.outcomes]
+
+    def test_one_broken_contract_does_not_kill_the_matrix(self):
+        run = run_matrix(
+            [("Crowdsale", CROWDSALE_SOURCE), ("Broken", BROKEN_SOURCE)],
+            presets=("mufuzz",), overrides=FAST, workers=1)
+        assert len(run.errors) == 1
+        assert run.errors[0].job.name == "Broken"
+        assert [job.name for job, _ in run.ok_results()] == ["Crowdsale"]
+
+    def test_summaries_aggregate_trials(self):
+        run = run_matrix([("Crowdsale", CROWDSALE_SOURCE)],
+                         presets=("mufuzz",), trials=3, overrides=FAST,
+                         workers=1)
+        (summary,) = summarize(run.outcomes)
+        assert summary.trials == 3
+        results = run.results_for("mufuzz")["Crowdsale"]
+        assert summary.mean_coverage == pytest.approx(
+            sum(r.coverage for r in results) / 3)
+        assert summary.best_coverage == max(r.coverage for r in results)
+
+
+class TestParallelExecution:
+    """The worker-pool path: spawn processes, crash capture, timeouts, and
+    the determinism guard — parallel runs must persist byte-identical
+    results to a serial run of the same matrix."""
+
+    def test_parallel_run_matches_serial_byte_for_byte(self, tmp_path):
+        contracts = [("Crowdsale", CROWDSALE_SOURCE), ("Game", GAME_SOURCE)]
+        kw = dict(presets=("mufuzz", "sfuzz"), trials=1, overrides=FAST)
+        serial_dir, parallel_dir = tmp_path / "serial", tmp_path / "parallel"
+        serial = run_matrix(contracts, workers=1, results_dir=serial_dir,
+                            **kw)
+        parallel = run_matrix(contracts, workers=2,
+                              results_dir=parallel_dir, **kw)
+        assert not serial.errors and not parallel.errors
+        serial_files = sorted(p.name for p in serial_dir.iterdir())
+        parallel_files = sorted(p.name for p in parallel_dir.iterdir())
+        assert serial_files == parallel_files and len(serial_files) == 4
+        for name in serial_files:
+            assert (serial_dir / name).read_bytes() == \
+                (parallel_dir / name).read_bytes(), name
+
+    def test_worker_error_is_captured_and_others_finish(self):
+        jobs = build_matrix(
+            [("Crowdsale", CROWDSALE_SOURCE), ("Broken", BROKEN_SOURCE)],
+            presets=("mufuzz",), overrides=FAST)
+        outcomes = run_jobs(jobs, workers=2)
+        by_name = {o.job.name: o for o in outcomes}
+        assert by_name["Crowdsale"].ok
+        assert by_name["Broken"].status == "error"
+        assert "Traceback" in by_name["Broken"].error
+
+    def test_job_timeout_terminates_the_worker(self):
+        job = _job(overrides={"iterations": 50_000_000})
+        (outcome,) = run_jobs([job], workers=2, job_timeout=1.0)
+        assert outcome.status == "timeout"
+        assert outcome.result is None
+        assert "timeout" in outcome.error
+
+
+class TestMergeTrials:
+    def _result(self, coverage, findings=()):
+        return CampaignResult(
+            fuzzer="MuFuzz", contract="C", coverage=coverage,
+            iterations=10, total_steps=100, wall_time=0.1,
+            findings=list(findings), curve=[(50, coverage)])
+
+    def test_merges_mean_coverage_and_unions_findings(self):
+        reentrancy = Finding(bug_class=BugClass.RE, contract="C", pc=4,
+                             line=2, description="re")
+        overflow = Finding(bug_class=BugClass.IO, contract="C", pc=9,
+                           line=3, description="io")
+        merged = merge_trials([
+            self._result(0.4, [reentrancy]),
+            self._result(0.8, [reentrancy, overflow]),
+        ])
+        assert merged.coverage == pytest.approx(0.6)
+        assert merged.bug_classes == {BugClass.RE, BugClass.IO}
+        assert len(merged.findings) == 2  # deduplicated union
+        assert merged.iterations == 20
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_trials([])
