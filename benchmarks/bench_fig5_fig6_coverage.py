@@ -7,15 +7,24 @@ reproduce is the ordering and the early ramp, not the absolute numbers.
 
 Runs on the campaign orchestrator (:func:`repro.orchestrator.run_matrix`):
 the contract × fuzzer matrix fans out across worker processes
-(``REPRO_BENCH_WORKERS`` sets the count) with per-cohort pinned RNG seeds,
-so results are identical to the former in-process loop at any parallelism.
+(``REPRO_BENCH_WORKERS`` sets the count, ``REPRO_BENCH_BACKEND`` the
+execution backend — default: the persistent pool, whose per-worker compile
+caches amortize startup) with per-cohort pinned RNG seeds, so results are
+identical to the former in-process loop at any parallelism.  Per-run
+wall-clock and jobs/sec land in ``BENCH_orchestrator.json`` at the repo
+root.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import bench_workers, scaled
+from benchmarks.conftest import (
+    bench_backend,
+    bench_workers,
+    record_matrix_timing,
+    scaled,
+)
 from repro.corpus import generate_d1
 from repro.orchestrator import average_curves, run_matrix
 from repro.reporting import format_percentage_bars, format_table
@@ -30,13 +39,14 @@ def _cohort_results(run, preset: str) -> list:
     return [trials[0] for trials in run.results_for(preset).values()]
 
 
-def _run_cohort(contracts, iterations: int) -> dict:
+def _run_cohort(contracts, iterations: int, label: str) -> dict:
     """Average final coverage and merged curves per fuzzer."""
     run = run_matrix(
         contracts, presets=PRESET_KEYS, trials=1,
         overrides={"iterations": iterations, "rng_seed": 17},
-        workers=bench_workers())
+        workers=bench_workers(), backend=bench_backend())
     assert not run.errors and not run.timeouts, run.errors + run.timeouts
+    record_matrix_timing(label, run)
     out = {}
     for preset in PRESET_KEYS:
         results = _cohort_results(run, preset)
@@ -58,7 +68,7 @@ def d1():
 
 def test_fig5a_fig6_small_contracts(d1, once, report):
     small, _ = d1
-    cohort = once(_run_cohort, small, scaled(250, 500))
+    cohort = once(_run_cohort, small, scaled(250, 500), "fig5_fig6_small")
     bars = [(name, data["coverage"]) for name, data in cohort.items()]
     curves = {name: data["curve"] for name, data in cohort.items()}
     report("fig6_small", format_percentage_bars(
@@ -74,7 +84,7 @@ def test_fig5a_fig6_small_contracts(d1, once, report):
 
 def test_fig5b_fig6_large_contracts(d1, once, report):
     _, large = d1
-    cohort = once(_run_cohort, large, scaled(200, 400))
+    cohort = once(_run_cohort, large, scaled(200, 400), "fig5_fig6_large")
     bars = [(name, data["coverage"]) for name, data in cohort.items()]
     curves = {name: data["curve"] for name, data in cohort.items()}
     report("fig6_large", format_percentage_bars(
@@ -97,14 +107,16 @@ def test_fig6_slippage_summary(d1, report, benchmark):
         small_run = run_matrix(
             small, presets=PRESET_KEYS, trials=1,
             overrides={"iterations": scaled(100, 300), "rng_seed": 5},
-            workers=bench_workers())
+            workers=bench_workers(), backend=bench_backend())
         large_run = run_matrix(
             large, presets=PRESET_KEYS, trials=1,
             overrides={"iterations": scaled(80, 250), "rng_seed": 5},
-            workers=bench_workers())
+            workers=bench_workers(), backend=bench_backend())
         for run in (small_run, large_run):
             assert not run.errors and not run.timeouts, \
                 run.errors + run.timeouts
+        record_matrix_timing("fig6_slippage_small", small_run)
+        record_matrix_timing("fig6_slippage_large", large_run)
         rows = []
         for preset in PRESET_KEYS:
             small_res = _cohort_results(small_run, preset)

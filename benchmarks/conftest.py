@@ -12,12 +12,17 @@ controlled by ``REPRO_BENCH_SCALE``:
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: per-run orchestrator timing trajectory, at the repo root so every PR's
+#: numbers land in the same artifact
+TIMING_PATH = Path(__file__).parent.parent / "BENCH_orchestrator.json"
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
 
@@ -36,6 +41,45 @@ def bench_workers() -> int | None:
     """
     value = os.environ.get("REPRO_BENCH_WORKERS")
     return int(value) if value else None
+
+
+def bench_backend() -> str:
+    """Execution backend for orchestrator-backed benches.
+
+    ``REPRO_BENCH_BACKEND`` overrides; the default is the pool backend —
+    persistent workers whose compile caches amortize per-cell startup.
+    Results are byte-identical across backends, so this too only trades
+    wall-clock.
+    """
+    return os.environ.get("REPRO_BENCH_BACKEND") or "pool"
+
+
+def record_matrix_timing(label: str, run) -> None:
+    """Log one :class:`MatrixRun`'s timing into ``BENCH_orchestrator.json``.
+
+    One entry per bench label, overwritten each run — the artifact is a
+    perf trajectory for the orchestrator across PRs, not an archive, so
+    only the latest numbers per bench are kept.
+    """
+    try:
+        data = json.loads(TIMING_PATH.read_text())
+    except (OSError, ValueError):
+        data = {}
+    data[label] = {
+        "backend": run.backend,
+        "workers": run.stats.get("workers"),
+        "cells": len(run.outcomes),
+        "executed": run.executed,
+        "cached": run.cached,
+        "wall_clock_s": round(run.elapsed, 3),
+        "jobs_per_sec": (round(run.executed / run.elapsed, 3)
+                         if run.elapsed > 0 and run.executed else None),
+        "compile_cache_hits": run.stats.get("compile_cache_hits", 0),
+        "compile_cache_misses": run.stats.get("compile_cache_misses", 0),
+        "scale": SCALE,
+    }
+    TIMING_PATH.write_text(json.dumps(data, indent=2, sort_keys=True)
+                           + "\n")
 
 
 @pytest.fixture

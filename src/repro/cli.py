@@ -20,7 +20,7 @@ import sys
 from repro.analysis.dataflow import analyze_contract
 from repro.analysis.disassembler import format_disassembly
 from repro.baselines import STATIC_ANALYZERS
-from repro.compiler import compile_source
+from repro.compiler import compile_cached
 from repro.core import PRESET_CONFIGS, Fuzzer
 from repro.reporting import format_percentage_bars, format_table
 
@@ -68,9 +68,24 @@ def build_parser() -> argparse.ArgumentParser:
                       help="persist per-job JSON results here and skip "
                            "already-completed jobs on rerun")
     camp.add_argument("--job-timeout", type=float, default=None,
-                      help="per-job wall-clock timeout in seconds "
-                           "(measured from worker spawn, so include "
-                           "~1s of interpreter startup)")
+                      help="per-job wall-clock timeout in seconds, "
+                           "measured from dispatch to a worker process — "
+                           "a worker's first job also absorbs ~1s of "
+                           "interpreter startup (every job does under "
+                           "--backend spawn)")
+    camp.add_argument("--backend", choices=("pool", "spawn", "inline"),
+                      default=None,
+                      help="execution backend (default: pool — persistent "
+                           "workers with per-worker compile caches; inline "
+                           "auto-selected at --workers 1 with no timeout). "
+                           "spawn = one process per job, maximum "
+                           "isolation; inline = no subprocesses. Results "
+                           "are byte-identical across backends")
+    camp.add_argument("--recycle-after", type=int, default=None,
+                      metavar="K",
+                      help="pool backend: retire and respawn each worker "
+                           "after K jobs to bound per-process memory "
+                           "growth")
 
     for name, help_text in (
             ("compile", "compile and show artifact summary"),
@@ -92,7 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _load(args) -> object:
     with open(args.file) as handle:
         source = handle.read()
-    return compile_source(source, args.contract)
+    return compile_cached(source, args.contract)
 
 
 def cmd_fuzz(args) -> int:
@@ -154,6 +169,7 @@ def _sample_corpus(dataset: str, count: int) -> list:
 
 def cmd_campaign(args) -> int:
     from repro.orchestrator import (
+        backend_for,
         fuzzer_coverage_bars,
         matrix_table,
         resolve_workers,
@@ -162,12 +178,29 @@ def cmd_campaign(args) -> int:
 
     contracts = _campaign_contracts(args)
     workers = resolve_workers(args.workers)
+    if args.backend is None and args.recycle_after:
+        backend = "pool"  # a pool-only knob implies the pool backend
+    else:
+        backend = args.backend or backend_for(workers, args.job_timeout)
+    if backend == "inline" and args.job_timeout is not None:
+        print("error: the inline backend cannot enforce --job-timeout; "
+              "use --backend pool or spawn")
+        return 2
+    if args.recycle_after is not None and args.recycle_after < 0:
+        print("error: --recycle-after must be >= 1 (0 disables recycling)")
+        return 2
+    if args.recycle_after and backend != "pool":
+        print(f"error: --recycle-after only applies to the pool backend "
+              f"(got {backend})")
+        return 2
+    if backend == "inline":
+        workers = 1  # inline runs serially whatever --workers says
     # tolerate repeated --fuzzers values (they would collide as job ids)
     args.fuzzers = list(dict.fromkeys(args.fuzzers))
     total = len(contracts) * len(args.fuzzers) * args.trials
     print(f"campaign matrix: {len(contracts)} contracts x "
           f"{len(args.fuzzers)} fuzzers x {args.trials} trials = "
-          f"{total} jobs on {workers} worker(s)")
+          f"{total} jobs on {workers} worker(s), {backend} backend")
     if total <= 0:
         print("empty campaign matrix: check --count/--trials and the "
               "input files")
@@ -186,11 +219,20 @@ def cmd_campaign(args) -> int:
         contracts, presets=args.fuzzers, trials=args.trials,
         base_seed=args.seed, overrides={"iterations": args.iterations},
         workers=workers, results_dir=args.results_dir,
-        job_timeout=args.job_timeout, progress=progress)
+        job_timeout=args.job_timeout, progress=progress,
+        backend=backend, recycle_after=args.recycle_after)
 
     if run.results_dir is not None:
         print(f"results dir: {run.results_dir} "
               f"({run.cached} cached, {run.executed} executed)")
+    stats = run.stats
+    if run.executed and (stats.get("compile_cache_hits", 0)
+                         or stats.get("compile_cache_misses", 0)):
+        line = (f"compile cache: {stats['compile_cache_hits']} hit(s), "
+                f"{stats['compile_cache_misses']} miss(es)")
+        if stats.get("workers_recycled"):
+            line += f"; {stats['workers_recycled']} worker(s) recycled"
+        print(line)
     print()
 
     summaries = run.summaries()

@@ -9,6 +9,12 @@ the fuzzer's energy scheduler and the analyses consume.
 
 from repro.compiler.abi import ContractABI, FunctionABI, encode_call, encode_words
 from repro.compiler.artifacts import BranchInfo, CompiledContract
+from repro.compiler.cache import (
+    CompileCache,
+    clear_compile_cache,
+    compile_cache_stats,
+    compile_cached,
+)
 from repro.compiler.codegen import CodeGenerator, compile_contract, compile_source
 from repro.compiler.layout import MemoryFrame, StorageLayout
 
@@ -19,7 +25,11 @@ __all__ = [
     "encode_words",
     "BranchInfo",
     "CompiledContract",
+    "CompileCache",
     "CodeGenerator",
+    "clear_compile_cache",
+    "compile_cache_stats",
+    "compile_cached",
     "compile_contract",
     "compile_source",
     "MemoryFrame",

@@ -1,0 +1,97 @@
+"""Pluggable execution backends for the campaign orchestrator.
+
+Three strategies for pushing a batch of :class:`CampaignJob`s through the
+machine, all settling byte-identical results:
+
+``inline``
+    everything in the calling process — the debugging mode and the
+    determinism reference; no isolation, no timeouts.
+``spawn``
+    one OS process per job — maximum isolation, pays interpreter boot +
+    import + compile per cell.
+``pool`` (default)
+    persistent workers pulling jobs from the scheduler, each with a warm
+    per-process compile cache — amortizes startup and compilation while
+    keeping spawn's timeout/crash guarantees via kill-and-respawn.
+
+``create_backend(None, ...)`` auto-selects: inline for the explicit
+single-worker no-timeout debugging mode, otherwise the pool.
+"""
+
+from __future__ import annotations
+
+from repro.orchestrator.backends.base import (
+    DEFAULT_SWEEP,
+    ExecutionBackend,
+    SchedulerCore,
+    execute_job,
+    resolve_workers,
+)
+from repro.orchestrator.backends.inline import InlineBackend
+from repro.orchestrator.backends.pool import PoolBackend
+from repro.orchestrator.backends.spawn import SpawnBackend
+
+#: registry: CLI choice / ``run_matrix(backend=...)`` name -> class
+BACKENDS = {
+    InlineBackend.name: InlineBackend,
+    SpawnBackend.name: SpawnBackend,
+    PoolBackend.name: PoolBackend,
+}
+
+DEFAULT_BACKEND = PoolBackend.name
+
+
+def backend_for(workers: int | None = None,
+                job_timeout: float | None = None) -> str:
+    """Auto-selected backend name: inline for the single-worker
+    no-timeout debugging mode (no subprocesses), otherwise the pool."""
+    if job_timeout is None and resolve_workers(workers) <= 1:
+        return InlineBackend.name
+    return DEFAULT_BACKEND
+
+
+def create_backend(name: str | None = None, *, workers: int | None = None,
+                   job_timeout: float | None = None,
+                   recycle_after: int | None = None,
+                   sweep_interval: float | None = None) -> ExecutionBackend:
+    """Instantiate a backend by name (``None`` = auto, see
+    :func:`backend_for`)."""
+    if name is None:
+        name = backend_for(workers, job_timeout)
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(f"unknown execution backend {name!r}: expected "
+                         f"one of {', '.join(sorted(BACKENDS))}") from None
+    return cls(workers=workers, job_timeout=job_timeout,
+               recycle_after=recycle_after, sweep_interval=sweep_interval)
+
+
+def run_jobs(jobs, workers: int | None = None,
+             job_timeout: float | None = None, progress=None,
+             backend: str | None = None, recycle_after: int | None = None,
+             sweep_interval: float | None = None) -> list:
+    """Execute every job; returns :class:`JobOutcome` per job, in job
+    order (one-call convenience over :func:`create_backend`)."""
+    engine = create_backend(backend, workers=workers,
+                            job_timeout=job_timeout,
+                            recycle_after=recycle_after,
+                            sweep_interval=sweep_interval)
+    return engine.run(jobs, progress=progress)
+
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "DEFAULT_SWEEP",
+    "ExecutionBackend",
+    "InlineBackend",
+    "PoolBackend",
+    "SchedulerCore",
+    "SpawnBackend",
+    "backend_for",
+    "create_backend",
+    "execute_job",
+    "resolve_workers",
+    "run_jobs",
+]

@@ -1,0 +1,263 @@
+"""Shared scheduler machinery for the pluggable execution backends.
+
+Three pieces live here because every backend needs them:
+
+* :func:`execute_job` — run one campaign to completion in the current
+  process, compiling through the process-local compile cache
+  (:func:`repro.compiler.compile_cached`);
+* :class:`ExecutionBackend` — the protocol a backend implements (validate
+  the batch, run it, expose run-level ``stats``);
+* :class:`SchedulerCore` — the result-side bookkeeping the process-based
+  backends (spawn, pool) share: the spawn context, the shared results
+  queue, first-wins settlement, and a *blocking* drain that sleeps in
+  ``Queue.get(timeout=...)`` instead of spinning on a poll interval.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import time
+import traceback
+
+from repro.compiler.cache import compile_cache_stats, compile_cached
+from repro.core.fuzzer import Fuzzer
+from repro.orchestrator.jobs import CampaignJob, JobOutcome
+
+#: default scheduler sweep interval (seconds): the upper bound on how long
+#: the scheduler blocks waiting for a result before checking timeouts and
+#: dead workers.  Configurable per backend via ``sweep_interval``.
+DEFAULT_SWEEP = 0.05
+
+#: grace period for draining a cleanly-exited worker's queued result
+DRAIN_GRACE = 2.0
+
+
+def resolve_workers(workers: int | None) -> int:
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+def execute_job(job: CampaignJob) -> JobOutcome:
+    """Run one campaign to completion in this process.
+
+    Compilation goes through the process-local compile cache, so a
+    long-lived worker executing many jobs over the same contract compiles
+    it once."""
+    start = time.perf_counter()
+    try:
+        artifact = compile_cached(job.source, job.contract)
+        result = Fuzzer(artifact, job.build_config(),
+                        job.supported_set()).run()
+        return JobOutcome(job=job, status="ok", result=result,
+                          elapsed=time.perf_counter() - start)
+    except Exception:
+        return JobOutcome(job=job, status="error",
+                          error=traceback.format_exc(),
+                          elapsed=time.perf_counter() - start)
+
+
+def execute_with_cache_delta(job: CampaignJob) -> tuple:
+    """Execute one job and measure the compile-cache hit/miss delta it
+    caused; every backend reports these deltas into its run stats."""
+    before = compile_cache_stats()
+    outcome = execute_job(job)
+    after = compile_cache_stats()
+    return outcome, {"cache_hits": after["hits"] - before["hits"],
+                     "cache_misses": after["misses"] - before["misses"]}
+
+
+def execute_to_wire(job_data: dict) -> dict:
+    """Worker-side helper: execute a serialized job and build its wire
+    record, annotated with the compile-cache delta."""
+    outcome, delta = execute_with_cache_delta(CampaignJob.from_dict(job_data))
+    wire = outcome.to_wire()
+    wire.update(delta)
+    return wire
+
+
+class ExecutionBackend:
+    """One strategy for executing a batch of campaign jobs.
+
+    Subclasses set :attr:`name` and implement ``_run(jobs, progress)``
+    returning one :class:`JobOutcome` per job **in job order**.  All
+    backends accept the same knobs; the ones that do not apply to a given
+    backend are ignored (``recycle_after`` outside the pool) or rejected
+    (``job_timeout`` on inline, which cannot kill anything).
+    """
+
+    name = "abstract"
+
+    def __init__(self, workers: int | None = None,
+                 job_timeout: float | None = None,
+                 recycle_after: int | None = None,
+                 sweep_interval: float | None = None) -> None:
+        self.workers = resolve_workers(workers)
+        self.job_timeout = None if job_timeout is None else float(job_timeout)
+        if recycle_after is not None and (recycle_after < 0
+                                          or recycle_after
+                                          != int(recycle_after)):
+            raise ValueError("recycle_after must be an integer >= 1 "
+                             "(0 or None disables recycling)")
+        self.recycle_after = (None if not recycle_after
+                              else int(recycle_after))
+        self.sweep_interval = (DEFAULT_SWEEP if sweep_interval is None
+                               else max(0.001, float(sweep_interval)))
+        #: run-level statistics, populated by :meth:`run`
+        self.stats = {
+            "backend": self.name,
+            "workers": self.workers,
+            "compile_cache_hits": 0,
+            "compile_cache_misses": 0,
+            "workers_recycled": 0,
+            "workers_killed": 0,
+        }
+
+    def run(self, jobs, progress=None) -> list:
+        """Execute every job; one outcome per job, in job order.
+
+        ``progress`` is an optional ``callback(outcome)`` invoked as each
+        job settles (out of order under parallelism)."""
+        jobs = list(jobs)
+        ids = [job.job_id for job in jobs]
+        if len(set(ids)) != len(ids):
+            # schedulers track in-flight work by job_id; a duplicate would
+            # silently orphan one worker and double-report the other
+            raise ValueError("duplicate job ids passed to backend: "
+                             + ", ".join(sorted({i for i in ids
+                                                 if ids.count(i) > 1})))
+        if not jobs:
+            return []
+        for counter in ("compile_cache_hits", "compile_cache_misses",
+                        "workers_recycled", "workers_killed"):
+            self.stats[counter] = 0  # stats describe one run, not a life
+        return self._run(jobs, progress)
+
+    def _run(self, jobs, progress) -> list:
+        raise NotImplementedError
+
+    def _absorb_cache_stats(self, wire: dict) -> None:
+        self.stats["compile_cache_hits"] += int(wire.get("cache_hits") or 0)
+        self.stats["compile_cache_misses"] += \
+            int(wire.get("cache_misses") or 0)
+
+
+class SchedulerCore:
+    """Result-side state shared by the process-based schedulers.
+
+    Owns the ``spawn`` context, the shared results queue, and settlement:
+    first outcome wins (a result racing a timeout termination must not
+    settle the same job twice — double progress callbacks and a final
+    state contradicting the live log), and the drain tolerates the mangled
+    queue items a worker terminated mid-``put`` can leave behind (the
+    documented multiprocessing caveat) — the owning job settles via the
+    timeout or crash path instead of taking the whole matrix down.
+    """
+
+    def __init__(self, jobs, progress=None,
+                 sweep_interval: float = DEFAULT_SWEEP) -> None:
+        self.jobs = list(jobs)
+        self.by_id = {job.job_id: job for job in self.jobs}
+        self.progress = progress
+        self.sweep = max(0.001, float(sweep_interval))
+        self.ctx = multiprocessing.get_context("spawn")
+        self.results_queue = self.ctx.Queue()
+        self.settled: dict = {}  # job_id -> JobOutcome
+
+    def settle(self, outcome: JobOutcome) -> None:
+        if outcome.job.job_id in self.settled:
+            return
+        self.settled[outcome.job.job_id] = outcome
+        if self.progress is not None:
+            self.progress(outcome)
+
+    def all_settled(self) -> bool:
+        return len(self.settled) == len(self.by_id)
+
+    def settle_timeout(self, job_id: str, timeout: float,
+                       started: float) -> None:
+        """Settle an overrunning job (its worker was just terminated)."""
+        self.settle(JobOutcome(
+            job=self.by_id[job_id], status="timeout",
+            error=f"job exceeded {timeout:.1f}s wall-clock timeout",
+            elapsed=time.monotonic() - started))
+
+    def settle_dead_worker(self, job_id: str, exitcode, started: float,
+                           handler=None, label: str = "worker") -> None:
+        """A worker died holding ``job_id``: a clean exit (code 0) always
+        queued its result first, so grace-drain for it; a nonzero exit
+        (crash, OOM kill) never will, so only collect what is already
+        queued.  Settles the job as ``error`` if no result surfaced."""
+        if exitcode == 0:
+            self.drain(block_for=DRAIN_GRACE, until=job_id,
+                       handler=handler)
+        else:
+            self.drain(handler=handler)
+        if job_id not in self.settled:
+            self.settle(JobOutcome(
+                job=self.by_id[job_id], status="error",
+                error=f"{label} died with exit code {exitcode} before "
+                      f"reporting a result",
+                elapsed=time.monotonic() - started))
+
+    def outcomes_in_job_order(self) -> list:
+        return [self.settled[job.job_id] for job in self.jobs]
+
+    def drain(self, block_for: float = 0.0, until: str | None = None,
+              handler=None) -> None:
+        """Dequeue results; optionally block up to ``block_for`` seconds.
+
+        Without ``until``, blocks until at least one result arrives (or
+        the deadline passes), then collects everything already queued and
+        returns — so the calling scheduler reacts promptly.  With
+        ``until``, keeps draining until that specific job settles or time
+        runs out.  The blocking path sleeps in ``Queue.get(timeout=...)``
+        capped at the sweep interval, so an idle scheduler never spins.
+
+        ``handler`` (optional) sees each raw wire record before it
+        settles — the pool backend uses it for worker bookkeeping.
+        """
+        deadline = time.monotonic() + block_for
+        got = False
+        while True:
+            if until is not None and until in self.settled:
+                return
+            try:
+                if got or block_for <= 0:
+                    wire = self.results_queue.get_nowait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return
+                    wire = self.results_queue.get(
+                        timeout=min(remaining, self.sweep))
+            except queue_mod.Empty:
+                if got or block_for <= 0 or time.monotonic() >= deadline:
+                    return
+                continue
+            except Exception:
+                # mangled item from a terminated worker: drop it, but
+                # keep honouring the deadline so a persistently-failing
+                # read cannot loop forever
+                if time.monotonic() >= deadline:
+                    return
+                continue
+            if until is None:
+                got = True
+            self._receive(wire, handler)
+
+    def _receive(self, wire, handler) -> None:
+        try:
+            job = self.by_id[wire["job_id"]]
+            outcome = JobOutcome.from_wire(job, wire)
+        except Exception:
+            return  # mangled wire record (terminated mid-put): the
+            # owning job settles via the crash/timeout path
+        if handler is not None:
+            handler(wire)
+        self.settle(outcome)
+
+    def close(self) -> None:
+        self.results_queue.close()

@@ -1,0 +1,40 @@
+"""The inline backend: every job in the calling process.
+
+No subprocesses, no isolation, no timeouts — this is the debugging mode
+and the reference the determinism guard compares the process-based
+backends against.  It still compiles through the process-local compile
+cache, so repeated cells over the same contract amortize compilation
+exactly like a pool worker does.
+"""
+
+from __future__ import annotations
+
+from repro.orchestrator.backends.base import (
+    ExecutionBackend,
+    execute_with_cache_delta,
+)
+
+
+class InlineBackend(ExecutionBackend):
+    name = "inline"
+
+    def __init__(self, workers=None, job_timeout=None, recycle_after=None,
+                 sweep_interval=None) -> None:
+        # one logical worker regardless of the requested count
+        super().__init__(workers=1, job_timeout=job_timeout,
+                         recycle_after=recycle_after,
+                         sweep_interval=sweep_interval)
+        if self.job_timeout is not None:
+            raise ValueError(
+                "the inline backend cannot enforce a wall-clock job "
+                "timeout (nothing to kill); use the spawn or pool backend")
+
+    def _run(self, jobs, progress) -> list:
+        outcomes = []
+        for job in jobs:
+            outcome, delta = execute_with_cache_delta(job)
+            self._absorb_cache_stats(delta)
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+        return outcomes

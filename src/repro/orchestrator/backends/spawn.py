@@ -1,0 +1,87 @@
+"""The spawn backend: one OS process per job, maximum isolation.
+
+At most ``workers`` processes alive at once, each executing exactly one
+job and exiting.  Every job pays interpreter boot + package import +
+compilation, which is why the pool backend is the default — but a fresh
+process per job is the strongest possible isolation (no state of any kind
+survives between jobs), so this backend remains the fallback for
+untrusted or leak-prone workloads.
+
+The scheduler owns the lifecycle: it enforces the per-job wall-clock
+timeout by terminating the worker, and a worker that dies (crash, OOM
+kill) yields an ``error`` outcome instead of taking the whole matrix
+down.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+from repro.orchestrator.backends.base import (
+    ExecutionBackend,
+    SchedulerCore,
+    execute_to_wire,
+)
+
+
+def _worker_main(job_data: dict, results_queue) -> None:
+    """Child-process entry point (module-level: spawn picklable)."""
+    results_queue.put(execute_to_wire(job_data))
+
+
+class SpawnBackend(ExecutionBackend):
+    name = "spawn"
+
+    def _run(self, jobs, progress) -> list:
+        core = SchedulerCore(jobs, progress, self.sweep_interval)
+        pending = deque(jobs)
+        running: dict = {}  # job_id -> (process, monotonic start)
+
+        def on_wire(wire):
+            self._absorb_cache_stats(wire)
+
+        try:
+            while pending or running:
+                while pending and len(running) < self.workers:
+                    job = pending.popleft()
+                    proc = core.ctx.Process(
+                        target=_worker_main,
+                        args=(job.to_dict(), core.results_queue),
+                        daemon=True)
+                    proc.start()
+                    running[job.job_id] = (proc, time.monotonic())
+
+                # blocks until a result lands (or the sweep interval
+                # passes), so an idle scheduler sleeps instead of spinning
+                core.drain(block_for=self.sweep_interval, handler=on_wire)
+
+                for job_id in list(running):
+                    proc, started = running[job_id]
+                    # per-job timestamp: the worker-exit branch below can
+                    # block in drain(), which would stale a loop-wide now
+                    now = time.monotonic()
+                    if job_id in core.settled:
+                        proc.join()
+                        del running[job_id]
+                    elif (self.job_timeout is not None
+                            and now - started > self.job_timeout
+                            and proc.is_alive()):
+                        proc.terminate()
+                        proc.join()
+                        del running[job_id]
+                        self.stats["workers_killed"] += 1
+                        core.settle_timeout(job_id, self.job_timeout,
+                                            started)
+                    elif not proc.is_alive():
+                        core.settle_dead_worker(job_id, proc.exitcode,
+                                                started, handler=on_wire)
+                        proc.join()
+                        del running[job_id]
+        finally:
+            for proc, _ in running.values():  # interrupted: reap children
+                proc.terminate()
+                proc.join()
+            core.close()
+
+        return core.outcomes_in_job_order()

@@ -20,6 +20,7 @@ import json
 import re
 from dataclasses import dataclass, field
 
+from repro.core.campaign import CampaignResult
 from repro.core.config import FuzzerConfig, preset_config
 from repro.oracles.base import BugClass
 
@@ -129,6 +130,36 @@ class JobOutcome:
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    # -- wire format (worker process -> scheduler results queue) -----------------
+
+    def to_wire(self) -> dict:
+        """Plain-dict form a worker sends back over the results queue.
+
+        Only the fields the scheduler cannot reconstruct travel: the job
+        itself is identified by ``job_id`` (the scheduler already holds
+        the full :class:`CampaignJob`), so sources never cross the
+        boundary twice."""
+        return {
+            "job_id": self.job.job_id,
+            "status": self.status,
+            "result": self.result.to_dict() if self.ok else None,
+            "error": self.error,
+            "elapsed": self.elapsed,
+        }
+
+    @classmethod
+    def from_wire(cls, job: CampaignJob, wire: dict) -> "JobOutcome":
+        """Rebuild an outcome from a wire record (inverse of
+        :meth:`to_wire`; raises on a mangled record)."""
+        return cls(
+            job=job,
+            status=wire["status"],
+            result=(CampaignResult.from_dict(wire["result"])
+                    if wire["status"] == "ok" else None),
+            error=wire["error"],
+            elapsed=wire["elapsed"],
+        )
 
 
 def build_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,

@@ -1,208 +1,28 @@
-"""Spawn-safe multiprocessing pool for campaign jobs.
+"""Backward-compatibility shim: the scheduler moved to
+:mod:`repro.orchestrator.backends`.
 
-One OS process per in-flight job, at most ``workers`` alive at once.  The
-scheduler owns the lifecycle: it enforces a per-job wall-clock timeout by
-terminating the worker, and a worker that dies (crash, OOM kill) yields an
-``error`` outcome instead of taking the whole matrix down.  Results travel
-back as plain dicts over a queue, so only :mod:`repro.orchestrator.jobs`
-data ever crosses the process boundary.
-
-``workers <= 1`` with no timeout runs jobs inline in the calling process —
-same code path as a worker, no subprocesses — which is both the debugging
-mode and the reference the determinism tests compare parallel runs
-against.
-
+The single spawn-per-job pool this module used to implement became one of
+three pluggable execution backends (inline / spawn / pool); the public
+entry points — :func:`run_jobs`, :func:`execute_job`,
+:func:`resolve_workers` — keep working from here unchanged.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-import queue as queue_mod
-import time
-import traceback
+from repro.orchestrator.backends import (
+    BACKENDS,
+    backend_for,
+    create_backend,
+    execute_job,
+    resolve_workers,
+    run_jobs,
+)
 
-from repro.compiler.codegen import compile_source
-from repro.core.campaign import CampaignResult
-from repro.core.fuzzer import Fuzzer
-from repro.orchestrator.jobs import CampaignJob, JobOutcome
-
-#: scheduler poll interval (seconds)
-_POLL = 0.02
-#: grace period for draining a finished worker's queued result
-_DRAIN_GRACE = 2.0
-
-
-def resolve_workers(workers: int | None) -> int:
-    if workers is None:
-        workers = os.cpu_count() or 1
-    return max(1, int(workers))
-
-
-def execute_job(job: CampaignJob) -> JobOutcome:
-    """Run one campaign to completion in this process."""
-    start = time.perf_counter()
-    try:
-        artifact = compile_source(job.source, job.contract)
-        result = Fuzzer(artifact, job.build_config(),
-                        job.supported_set()).run()
-        return JobOutcome(job=job, status="ok", result=result,
-                          elapsed=time.perf_counter() - start)
-    except Exception:
-        return JobOutcome(job=job, status="error",
-                          error=traceback.format_exc(),
-                          elapsed=time.perf_counter() - start)
-
-
-def _worker_main(job_data: dict, results_queue) -> None:
-    """Child-process entry point (module-level: spawn picklable)."""
-    outcome = execute_job(CampaignJob.from_dict(job_data))
-    results_queue.put({
-        "job_id": outcome.job.job_id,
-        "status": outcome.status,
-        "result": outcome.result.to_dict() if outcome.ok else None,
-        "error": outcome.error,
-        "elapsed": outcome.elapsed,
-    })
-
-
-def run_jobs(jobs, workers: int | None = None,
-             job_timeout: float | None = None,
-             progress=None) -> list:
-    """Execute every job; returns :class:`JobOutcome` per job, in job order.
-
-    ``progress`` is an optional ``callback(outcome)`` invoked as each job
-    settles (out of order under parallelism).
-    """
-    jobs = list(jobs)
-    ids = [job.job_id for job in jobs]
-    if len(set(ids)) != len(ids):
-        # the scheduler tracks processes by job_id; a duplicate would
-        # silently orphan one worker and double-report the other's outcome
-        raise ValueError("duplicate job ids passed to run_jobs: "
-                         + ", ".join(sorted({i for i in ids
-                                             if ids.count(i) > 1})))
-    workers = resolve_workers(workers)
-    # Inline execution cannot enforce a wall-clock timeout or crash
-    # isolation, so it is reserved for the explicit workers<=1 debugging
-    # mode with no timeout requested.
-    if job_timeout is None and workers <= 1:
-        outcomes = []
-        for job in jobs:
-            outcome = execute_job(job)
-            outcomes.append(outcome)
-            if progress is not None:
-                progress(outcome)
-        return outcomes
-    return _run_parallel(jobs, workers, job_timeout, progress)
-
-
-def _run_parallel(jobs, workers, job_timeout, progress) -> list:
-    ctx = multiprocessing.get_context("spawn")
-    results_queue = ctx.Queue()
-    by_id = {job.job_id: job for job in jobs}
-    pending = list(jobs)
-    running: dict = {}  # job_id -> (process, monotonic start)
-    settled: dict = {}  # job_id -> JobOutcome
-
-    def settle(outcome: JobOutcome) -> None:
-        # first outcome wins: a result racing a timeout termination must
-        # not settle the same job twice (double progress callbacks and a
-        # final state contradicting the live log)
-        if outcome.job.job_id in settled:
-            return
-        settled[outcome.job.job_id] = outcome
-        if progress is not None:
-            progress(outcome)
-
-    def drain(block_for: float = 0.0, until: str | None = None) -> None:
-        """Dequeue available results; with ``until``, keep polling up to
-        ``block_for`` seconds until that job settles."""
-        deadline = time.monotonic() + block_for
-        while True:
-            if until is not None and until in settled:
-                return
-            try:
-                wire = results_queue.get_nowait()
-            except queue_mod.Empty:
-                if time.monotonic() >= deadline:
-                    return
-                time.sleep(_POLL)
-                continue
-            except Exception:
-                # terminating a worker mid-put can leave a mangled item in
-                # the shared queue (the documented multiprocessing caveat);
-                # drop it — the owning job settles via the timeout or
-                # crash path instead of taking the whole matrix down.
-                # Deadline check + sleep as in the Empty branch: a
-                # persistently-failing read must not busy-loop forever.
-                if time.monotonic() >= deadline:
-                    return
-                time.sleep(_POLL)
-                continue
-            try:
-                job = by_id[wire["job_id"]]
-                outcome = JobOutcome(
-                    job=job, status=wire["status"],
-                    result=(CampaignResult.from_dict(wire["result"])
-                            if wire["status"] == "ok" else None),
-                    error=wire["error"], elapsed=wire["elapsed"])
-            except Exception:
-                continue  # mangled wire record (terminated mid-put):
-                # the owning job settles via the crash/timeout path
-            settle(outcome)
-
-    try:
-        while pending or running:
-            while pending and len(running) < workers:
-                job = pending.pop(0)
-                proc = ctx.Process(target=_worker_main,
-                                   args=(job.to_dict(), results_queue),
-                                   daemon=True)
-                proc.start()
-                running[job.job_id] = (proc, time.monotonic())
-
-            drain()
-            for job_id in list(running):
-                proc, started = running[job_id]
-                # per-job timestamp: the worker-exit branch below can
-                # block in drain(), which would stale a loop-wide `now`
-                now = time.monotonic()
-                if job_id in settled:
-                    proc.join()
-                    del running[job_id]
-                elif (job_timeout is not None
-                        and now - started > job_timeout
-                        and proc.is_alive()):
-                    proc.terminate()
-                    proc.join()
-                    del running[job_id]
-                    settle(JobOutcome(
-                        job=by_id[job_id], status="timeout",
-                        error=f"job exceeded {job_timeout:.1f}s wall-clock "
-                              f"timeout", elapsed=now - started))
-                elif not proc.is_alive():
-                    # worker exited: a clean exit (code 0) always queued a
-                    # result, so wait briefly for it to arrive; a nonzero
-                    # exit (crash, OOM kill) never will, so skip the grace
-                    # and only collect what is already queued
-                    if proc.exitcode == 0:
-                        drain(block_for=_DRAIN_GRACE, until=job_id)
-                    else:
-                        drain()
-                    proc.join()
-                    del running[job_id]
-                    if job_id not in settled:
-                        settle(JobOutcome(
-                            job=by_id[job_id], status="error",
-                            error=f"worker died with exit code "
-                                  f"{proc.exitcode} before reporting a "
-                                  f"result", elapsed=now - started))
-            time.sleep(_POLL)
-    finally:
-        for proc, _ in running.values():  # interrupted: reap children
-            proc.terminate()
-            proc.join()
-        results_queue.close()
-
-    return [settled[job.job_id] for job in jobs]
+__all__ = [
+    "BACKENDS",
+    "backend_for",
+    "create_backend",
+    "execute_job",
+    "resolve_workers",
+    "run_jobs",
+]

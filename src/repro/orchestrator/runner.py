@@ -13,8 +13,8 @@ import time
 from dataclasses import dataclass, field
 
 from repro.orchestrator import aggregate
+from repro.orchestrator.backends import create_backend
 from repro.orchestrator.jobs import build_matrix
-from repro.orchestrator.pool import run_jobs
 from repro.orchestrator.store import ResultStore
 
 
@@ -27,6 +27,11 @@ class MatrixRun:
     executed: int = 0
     elapsed: float = 0.0
     results_dir: str | None = None
+    #: execution backend name the fresh cells ran on
+    backend: str | None = None
+    #: backend run statistics (worker count, compile-cache hits/misses,
+    #: workers recycled/killed); zeros when every cell was cached
+    stats: dict = field(default_factory=dict)
 
     @property
     def errors(self) -> list:
@@ -58,12 +63,17 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
                overrides: dict | None = None, supported: dict | None = None,
                workers: int | None = None, results_dir=None,
                job_timeout: float | None = None,
-               progress=None) -> MatrixRun:
+               progress=None, backend: str | None = None,
+               recycle_after: int | None = None) -> MatrixRun:
     """Run (or resume) a campaign matrix; see module docstring.
 
     ``results_dir=None`` keeps everything in memory (no persistence,
-    nothing skipped).  ``workers=None`` uses ``os.cpu_count()``;
-    ``workers=1`` runs inline with no subprocesses.
+    nothing skipped).  ``workers=None`` uses ``os.cpu_count()``.
+    ``backend`` picks the execution backend (``inline``, ``spawn``, or
+    ``pool``; ``None`` auto-selects — inline for the single-worker
+    no-timeout debugging mode, otherwise the default pool).  Results are
+    byte-identical across backends and worker counts.  ``recycle_after``
+    retires each pool worker after that many jobs to bound memory growth.
     """
     start = time.perf_counter()
     jobs = build_matrix(contracts, presets, trials=trials,
@@ -80,6 +90,9 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
         else:
             pending.append(job)
 
+    engine = create_backend(backend, workers=workers,
+                            job_timeout=job_timeout,
+                            recycle_after=recycle_after)
     fresh = {}
     if pending:
         def on_settle(outcome):
@@ -88,9 +101,7 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
             if progress is not None:
                 progress(outcome)
 
-        for outcome in run_jobs(pending, workers=workers,
-                                job_timeout=job_timeout,
-                                progress=on_settle):
+        for outcome in engine.run(pending, progress=on_settle):
             fresh[outcome.job.job_id] = outcome
 
     outcomes = [cached[job.job_id] if job.job_id in cached
@@ -101,4 +112,6 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
         executed=len(fresh),
         elapsed=time.perf_counter() - start,
         results_dir=None if results_dir is None else str(results_dir),
+        backend=engine.name,
+        stats=dict(engine.stats),
     )

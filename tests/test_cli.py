@@ -70,6 +70,56 @@ class TestCli:
         rerun = run_cli(capsys, *argv)
         assert "4 cached, 0 executed" in rerun
 
+    def test_campaign_resume_reruns_only_the_missing_cell(self, capsys,
+                                                          tmp_path,
+                                                          crowdsale_file):
+        """End-to-end resume: delete one persisted result and rerun — only
+        that cell re-executes, the other three are cache hits."""
+        results_dir = tmp_path / "results"
+        argv = ("campaign", crowdsale_file, "--fuzzers", "mufuzz", "sfuzz",
+                "--trials", "2", "--iterations", "15", "--workers", "1",
+                "--results-dir", str(results_dir))
+        run_cli(capsys, *argv)
+        files = sorted(results_dir.glob("*.json"))
+        assert len(files) == 4
+        victim, survivors = files[0], files[1:]
+        victim.unlink()
+        out = run_cli(capsys, *argv)
+        assert "3 cached, 1 executed" in out
+        # progress lines are printed only for cells that actually ran
+        assert f"[ok] {victim.stem}:" in out
+        for survivor in survivors:
+            assert f"[ok] {survivor.stem}:" not in out
+        assert victim.exists()  # re-persisted
+
+    def test_campaign_backend_and_recycle_flags(self, capsys,
+                                                crowdsale_file):
+        # one worker, 4 jobs, quota 2: the worker is deterministically
+        # recycled after its second job (two jobs still pending)
+        out = run_cli(capsys, "campaign", crowdsale_file,
+                      "--fuzzers", "mufuzz", "--trials", "4",
+                      "--iterations", "15", "--workers", "1",
+                      "--backend", "pool", "--recycle-after", "2")
+        assert "pool backend" in out
+        assert "compile cache:" in out
+        assert "worker(s) recycled" in out
+
+    def test_campaign_inline_backend_rejects_job_timeout(self,
+                                                         crowdsale_file):
+        assert main(["campaign", crowdsale_file, "--fuzzers", "mufuzz",
+                     "--trials", "1", "--backend", "inline",
+                     "--job-timeout", "5"]) == 2
+
+    def test_campaign_rejects_negative_recycle_after(self, crowdsale_file):
+        assert main(["campaign", crowdsale_file, "--fuzzers", "mufuzz",
+                     "--trials", "1", "--backend", "pool",
+                     "--recycle-after", "-1"]) == 2
+
+    def test_campaign_rejects_recycle_after_off_pool(self, crowdsale_file):
+        assert main(["campaign", crowdsale_file, "--fuzzers", "mufuzz",
+                     "--trials", "1", "--backend", "spawn",
+                     "--recycle-after", "5"]) == 2
+
     def test_campaign_on_corpus_sample(self, capsys, tmp_path):
         out = run_cli(capsys, "campaign", "--dataset", "d2", "--count", "2",
                       "--fuzzers", "mufuzz", "--trials", "1",

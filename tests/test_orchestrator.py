@@ -1,15 +1,20 @@
-"""The campaign orchestrator: job model, pool, store, determinism."""
+"""The campaign orchestrator: jobs, backends, store, determinism."""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.core.campaign import CampaignResult
 from repro.oracles.base import BugClass, Finding
 from repro.orchestrator import (
+    BACKENDS,
     CampaignJob,
     ResultStore,
+    backend_for,
     build_matrix,
+    create_backend,
     execute_job,
     merge_trials,
     run_jobs,
@@ -22,6 +27,9 @@ BROKEN_SOURCE = "contract Broken { function f( public"
 
 #: tiny budget: orchestration behaviour, not fuzzing quality, is under test
 FAST = {"iterations": 15}
+
+#: parallel worker count for the backend-parity tests; CI sweeps 1/2/4
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
 
 
 def _job(**kw) -> CampaignJob:
@@ -165,6 +173,129 @@ class TestRunMatrix:
         assert summary.mean_coverage == pytest.approx(
             sum(r.coverage for r in results) / 3)
         assert summary.best_coverage == max(r.coverage for r in results)
+
+
+class TestBackends:
+    """The pluggable execution backends: registry and auto-selection,
+    the three-way determinism guard, compile-cache amortization, worker
+    recycling, and timeout kill-and-respawn."""
+
+    def test_registry_and_auto_selection(self):
+        assert set(BACKENDS) == {"inline", "spawn", "pool"}
+        assert backend_for(workers=1, job_timeout=None) == "inline"
+        assert backend_for(workers=4, job_timeout=None) == "pool"
+        assert backend_for(workers=1, job_timeout=5.0) == "pool"
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            create_backend("nonesuch")
+
+    def test_inline_rejects_job_timeout(self):
+        with pytest.raises(ValueError, match="inline"):
+            create_backend("inline", job_timeout=1.0)
+
+    def test_invalid_recycle_after_rejected(self):
+        with pytest.raises(ValueError, match="recycle_after"):
+            create_backend("pool", recycle_after=-5)
+        with pytest.raises(ValueError, match="recycle_after"):
+            create_backend("pool", recycle_after=0.5)  # would truncate to 0
+        with pytest.raises(ValueError, match="recycle_after"):
+            create_backend("pool", recycle_after=2.5)  # silent truncation
+        # 0 and None both mean "never recycle"
+        assert create_backend("pool", recycle_after=0).recycle_after is None
+        assert create_backend("pool").recycle_after is None
+
+    def test_all_backends_byte_identical(self, tmp_path):
+        """The determinism guard: every backend must persist exactly the
+        same bytes for the same matrix, at any worker count (CI sweeps
+        ``REPRO_TEST_WORKERS`` over 1, 2, and 4)."""
+        contracts = [("Crowdsale", CROWDSALE_SOURCE), ("Game", GAME_SOURCE)]
+        kw = dict(presets=("mufuzz", "sfuzz"), trials=2, overrides=FAST)
+        persisted = {}
+        for backend in sorted(BACKENDS):
+            results_dir = tmp_path / backend
+            run = run_matrix(contracts, backend=backend, workers=WORKERS,
+                             results_dir=results_dir, **kw)
+            assert not run.errors and not run.timeouts, backend
+            assert run.backend == backend
+            assert run.executed == 8
+            persisted[backend] = {p.name: p.read_bytes()
+                                  for p in results_dir.iterdir()}
+        assert len(persisted["inline"]) == 8
+        assert persisted["inline"] == persisted["spawn"] == \
+            persisted["pool"]
+
+    @pytest.mark.skipif(os.environ.get("REPRO_TEST_WORKERS") is not None,
+                        reason="wall-clock comparison: once per suite is "
+                               "enough; skip in the CI worker sweep")
+    def test_pool_amortizes_compilation_and_beats_spawn(self):
+        """20 cells over 2 contracts: each pool worker compiles each
+        contract at most once (hits >= cells - contracts x workers), and
+        skipping per-job interpreter boot + import + compile makes the
+        pool measurably faster than spawn at the same worker count."""
+        contracts = [("Crowdsale", CROWDSALE_SOURCE), ("Game", GAME_SOURCE)]
+        kw = dict(presets=("mufuzz", "sfuzz"), trials=5, overrides=FAST,
+                  workers=2)
+        pool = run_matrix(contracts, backend="pool", **kw)
+        spawn = run_matrix(contracts, backend="spawn", **kw)
+        assert not pool.errors and not spawn.errors
+        assert pool.executed == spawn.executed == 20
+        assert pool.stats["compile_cache_hits"] >= 20 - 2 * 2
+        assert pool.stats["compile_cache_misses"] <= 2 * 2
+        assert spawn.stats["compile_cache_hits"] == 0  # always-cold caches
+        assert pool.elapsed < spawn.elapsed, \
+            f"pool {pool.elapsed:.2f}s vs spawn {spawn.elapsed:.2f}s"
+
+    def test_pool_recycles_workers_after_quota(self):
+        jobs = build_matrix([("Crowdsale", CROWDSALE_SOURCE)],
+                            presets=("mufuzz",), trials=6, overrides=FAST)
+        engine = create_backend("pool", workers=1, recycle_after=2)
+        outcomes = engine.run(jobs)
+        assert all(o.ok for o in outcomes)
+        assert engine.stats["workers_recycled"] == 2
+        # every fresh incarnation recompiles once: recycling trades cache
+        # warmth for bounded per-process memory
+        assert engine.stats["compile_cache_misses"] == 3
+        assert engine.stats["compile_cache_hits"] == 3
+
+    def test_pool_timeout_kills_worker_and_queue_continues(self):
+        hang = _job(name="Hang", overrides={"iterations": 50_000_000})
+        fast = [_job(trial=t) for t in range(4)]
+        engine = create_backend("pool", workers=2, job_timeout=2.0)
+        outcomes = engine.run([hang] + fast)
+        by_id = {o.job.job_id: o for o in outcomes}
+        assert by_id["Hang__mufuzz__t000"].status == "timeout"
+        assert "timeout" in by_id["Hang__mufuzz__t000"].error
+        assert all(o.ok for job_id, o in by_id.items()
+                   if job_id != "Hang__mufuzz__t000")
+        assert engine.stats["workers_killed"] == 1
+
+    def test_spawn_timeout_and_error_parity(self):
+        """The spawn backend keeps the guarantees the pool advertises as
+        'everything spawn guarantees': timeout kill, captured per-job
+        errors, and unaffected neighbours — tested on spawn explicitly
+        now that run_jobs auto-selects the pool."""
+        hang = _job(name="Hang", overrides={"iterations": 50_000_000})
+        broken = _job(name="Broken", source=BROKEN_SOURCE)
+        engine = create_backend("spawn", workers=2, job_timeout=2.0)
+        outcomes = engine.run([hang, broken, _job()])
+        by_name = {o.job.name: o for o in outcomes}
+        assert by_name["Hang"].status == "timeout"
+        assert "timeout" in by_name["Hang"].error
+        assert by_name["Broken"].status == "error"
+        assert "Traceback" in by_name["Broken"].error
+        assert by_name["Crowdsale"].ok
+        assert engine.stats["workers_killed"] == 1
+
+    def test_pool_isolates_a_broken_job(self):
+        jobs = build_matrix(
+            [("Crowdsale", CROWDSALE_SOURCE), ("Broken", BROKEN_SOURCE)],
+            presets=("mufuzz",), trials=2, overrides=FAST)
+        outcomes = run_jobs(jobs, workers=2, backend="pool")
+        by_name: dict = {}
+        for outcome in outcomes:
+            by_name.setdefault(outcome.job.name, []).append(outcome)
+        assert all(o.ok for o in by_name["Crowdsale"])
+        assert all(o.status == "error" for o in by_name["Broken"])
+        assert "Traceback" in by_name["Broken"][0].error
 
 
 class TestParallelExecution:
