@@ -1,0 +1,156 @@
+"""EVM interpreter throughput microbench.
+
+The orchestrator benches (``BENCH_orchestrator.json``) measure jobs/sec at
+the campaign-matrix level; this bench measures the layer below them — raw
+interpreter steps/sec on the d2 corpus — so regressions in the dispatch
+table, the shared code-analysis cache, or the journal-based state reset are
+visible even when job-level numbers are dominated by compile/setup cost.
+
+Two workloads, both fully deterministic:
+
+* ``replay``  — one fixed transaction sequence per contract executed over
+  and over against a reset state (the ``Fuzzer._execute`` hot path with the
+  fuzzing logic factored out: interpreter + state-reset cost only);
+* ``campaign`` — a short full MuFuzz campaign per contract (interpreter
+  plus mutation/oracle/feedback overhead, i.e. the real per-iteration mix).
+
+Results land in ``BENCH_evm.json`` at the repo root under a variant key
+(``REPRO_BENCH_EVM_VARIANT``, default ``current``).  When both a ``seed``
+entry and a ``current`` entry exist the file also records the speedup, so
+the interpreter's perf trajectory is tracked across PRs alongside the
+orchestrator's.
+
+Run directly (``python benchmarks/bench_evm_throughput.py [--smoke]``) or
+via pytest; ``REPRO_BENCH_EVM_SMOKE=1`` (or ``--smoke``) shrinks the
+workload for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.core.config import mufuzz_config
+from repro.core.fuzzer import Fuzzer
+from repro.corpus import generate_d2
+
+EVM_BENCH_PATH = Path(__file__).parent.parent / "BENCH_evm.json"
+
+#: contracts drawn from the deterministic d2 corpus
+N_CONTRACTS = 6
+N_CONTRACTS_SMOKE = 2
+#: replay iterations (sequence re-executions) per contract
+REPLAY_ITERS = 120
+REPLAY_ITERS_SMOKE = 25
+#: campaign iterations per contract
+CAMPAIGN_ITERS = 120
+CAMPAIGN_ITERS_SMOKE = 25
+
+
+def _smoke() -> bool:
+    return (os.environ.get("REPRO_BENCH_EVM_SMOKE") == "1"
+            or "--smoke" in sys.argv)
+
+
+def _bench_contracts(count: int) -> list:
+    corpus = generate_d2()
+    # Spread across the corpus so several bug templates / gate depths are
+    # represented, deterministically.
+    stride = max(1, len(corpus) // count)
+    return [corpus[i * stride] for i in range(count)]
+
+
+def _replay_throughput(contracts, iters: int) -> dict:
+    """Fixed-sequence replay: interpreter + per-iteration state reset."""
+    steps = 0
+    elapsed = 0.0
+    executions = 0
+    for contract in contracts:
+        fuzzer = Fuzzer(contract.artifact,
+                        mufuzz_config(iterations=iters, rng_seed=7))
+        seed = fuzzer._fresh_seed()
+        start = time.perf_counter()
+        for _ in range(iters):
+            trace = fuzzer._execute(seed)
+            steps += trace.steps
+        elapsed += time.perf_counter() - start
+        executions += iters
+    return {"steps": steps, "wall_clock_s": round(elapsed, 3),
+            "executions": executions,
+            "steps_per_sec": round(steps / elapsed) if elapsed else None}
+
+
+def _campaign_throughput(contracts, iters: int) -> dict:
+    """Short full campaigns: the realistic per-iteration instruction mix."""
+    steps = 0
+    elapsed = 0.0
+    executions = 0
+    for contract in contracts:
+        fuzzer = Fuzzer(contract.artifact,
+                        mufuzz_config(iterations=iters, rng_seed=7))
+        start = time.perf_counter()
+        result = fuzzer.run()
+        elapsed += time.perf_counter() - start
+        steps += result.total_steps
+        executions += result.iterations
+    return {"steps": steps, "wall_clock_s": round(elapsed, 3),
+            "executions": executions,
+            "steps_per_sec": round(steps / elapsed) if elapsed else None}
+
+
+def run_evm_bench(smoke: bool | None = None) -> dict:
+    """Run both workloads and persist the variant entry in BENCH_evm.json."""
+    if smoke is None:
+        smoke = _smoke()
+    contracts = _bench_contracts(
+        N_CONTRACTS_SMOKE if smoke else N_CONTRACTS)
+    replay = _replay_throughput(
+        contracts, REPLAY_ITERS_SMOKE if smoke else REPLAY_ITERS)
+    campaign = _campaign_throughput(
+        contracts, CAMPAIGN_ITERS_SMOKE if smoke else CAMPAIGN_ITERS)
+    entry = {
+        "replay": replay,
+        "campaign": campaign,
+        "contracts": [c.name for c in contracts],
+        "smoke": smoke,
+    }
+
+    variant = os.environ.get("REPRO_BENCH_EVM_VARIANT", "current")
+    try:
+        data = json.loads(EVM_BENCH_PATH.read_text())
+    except (OSError, ValueError):
+        data = {}
+    data[variant] = entry
+    seed = data.get("seed")
+    current = data.get("current")
+    if seed and current and not (seed["smoke"] or current["smoke"]):
+        data["speedup"] = {
+            workload: round(current[workload]["steps_per_sec"]
+                            / seed[workload]["steps_per_sec"], 2)
+            for workload in ("replay", "campaign")
+            if seed[workload]["steps_per_sec"]
+        }
+    EVM_BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True)
+                              + "\n")
+    return entry
+
+
+def test_evm_throughput(report):
+    """Pytest entry point: run the bench and report steps/sec."""
+    entry = run_evm_bench()
+    lines = ["EVM interpreter throughput (d2 corpus)"]
+    for workload in ("replay", "campaign"):
+        w = entry[workload]
+        lines.append(f"  {workload:<9} {w['steps_per_sec']:>10} steps/sec "
+                     f"({w['steps']} steps / {w['wall_clock_s']}s, "
+                     f"{w['executions']} executions)")
+    report("evm_throughput", "\n".join(lines))
+    assert entry["replay"]["steps_per_sec"] > 0
+
+
+if __name__ == "__main__":
+    result = run_evm_bench()
+    print(json.dumps(result, indent=2))

@@ -41,7 +41,9 @@ def disassemble(code: bytes) -> list[Instruction]:
         op = code[i]
         if opcodes.is_push(op):
             width = opcodes.push_width(op)
-            imm = code[i + 1: i + 1 + width]
+            # EVM spec: immediate bytes past end-of-code read as zero
+            # (right-padded), matching the machine's decoder.
+            imm = code[i + 1: i + 1 + width].ljust(width, b"\x00")
             out.append(Instruction(pc=i, opcode=op,
                                    operand=int.from_bytes(imm, "big")))
             i += 1 + width

@@ -58,6 +58,9 @@ class Chain:
         self.max_steps = max_steps
         self._next_contract = CONTRACT_ADDRESS_BASE
         self.receipts: list[TransactionReceipt] = []
+        #: set by :meth:`mark_base`; while active, the world journal is
+        #: retained across transactions so :meth:`reset_to_base` can undo them
+        self._base: tuple | None = None
 
     # -- accounts ---------------------------------------------------------------
 
@@ -66,7 +69,8 @@ class Chain:
         """Fund a user account and return its address."""
         self.world.account(address)
         self.world.set_balance(address, balance)
-        self.world.clear_journal()
+        if self._base is None:
+            self.world.clear_journal()
         return address
 
     def register_agent(self, address: int, agent,
@@ -96,7 +100,8 @@ class Chain:
             raise RuntimeError(
                 f"deployment of {artifact.name} failed: {result.error}")
         self.world.set_code(address, artifact.runtime_code)
-        self.world.clear_journal()
+        if self._base is None:
+            self.world.clear_journal()
         self.block.advance()
         return DeployedContract(address=address, artifact=artifact)
 
@@ -112,7 +117,8 @@ class Chain:
             value=tx.value, data=tx.data, gas=tx.gas,
             code=self.world.get_code(tx.to))
         result = machine.execute(msg)
-        self.world.clear_journal()
+        if self._base is None:
+            self.world.clear_journal()
         receipt = TransactionReceipt(
             tx=tx, success=result.success, returndata=result.returndata,
             error=result.error, trace=machine.trace,
@@ -122,7 +128,7 @@ class Chain:
         return receipt
 
     def fork(self) -> "Chain":
-        """Deep-copy the chain (campaign-level state reset)."""
+        """Deep-copy the chain (point-in-time snapshot, no base mark)."""
         clone = Chain(self.world.fork(), self.max_steps)
         clone.block = BlockContext(
             number=self.block.number, timestamp=self.block.timestamp,
@@ -130,3 +136,32 @@ class Chain:
             gas_limit=self.block.gas_limit)
         clone._next_contract = self._next_contract
         return clone
+
+    # -- journal-based campaign reset ------------------------------------------
+
+    def mark_base(self) -> None:
+        """Pin the current state as the reset point for :meth:`reset_to_base`.
+
+        From here on the world journal is *retained* across transactions
+        (instead of cleared after each one), so every committed mutation
+        stays undoable.  The fuzzer marks the post-deployment state once and
+        then restores it between iterations in O(touched slots) — replacing
+        the former fork-per-iteration deep copy of every account and
+        storage dict, which was O(world) regardless of what the iteration
+        touched.
+        """
+        self.world.clear_journal()
+        self._base = (self.block.number, self.block.timestamp,
+                      len(self.receipts), self._next_contract)
+
+    def reset_to_base(self) -> "Chain":
+        """Undo everything since :meth:`mark_base` and return ``self``."""
+        if self._base is None:
+            raise RuntimeError("reset_to_base() without mark_base()")
+        self.world.revert_to(0)
+        number, timestamp, n_receipts, next_contract = self._base
+        self.block.number = number
+        self.block.timestamp = timestamp
+        del self.receipts[n_receipts:]
+        self._next_contract = next_contract
+        return self

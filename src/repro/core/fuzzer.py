@@ -71,7 +71,8 @@ class Fuzzer:
         self.seqgen = SequenceGenerator(
             artifact.contract_ast, self.dataflow, self.rng,
             self.config.sequence_strategy, self.config.max_sequence_length)
-        self.mutator = SeedMutator(self.rng, self._harvest_constants())
+        self.constants = self._harvest_constants()
+        self.mutator = SeedMutator(self.rng, self.constants)
         self.scheduler = EnergyScheduler(
             strategy=self.config.energy_strategy, prefix=self.prefix,
             base_energy=self.config.base_energy,
@@ -113,7 +114,7 @@ class Fuzzer:
         self.accounts = [DEPLOYER, USER_1, USER_2, ATTACKER, REJECTOR]
         self.inputs = InputGenerator(
             self.rng, self.accounts,
-            extra_constants=self._harvest_constants(),
+            extra_constants=self.constants,
             sender_weights=(0.20, 0.175, 0.125, 0.35, 0.15))
 
         ctor_args = [self.inputs.value_for_type(t)
@@ -123,6 +124,9 @@ class Fuzzer:
             sender=DEPLOYER, value=self.config.deploy_balance)
         self.address = deployed.address
         self.base_chain = chain
+        # journal-based reset point: iterations restore the deployed state
+        # in O(touched slots) instead of deep-copying the world every round
+        chain.mark_base()
 
     def _harvest_constants(self) -> tuple:
         """PUSH immediates from the runtime code, used as interesting input
@@ -167,11 +171,13 @@ class Fuzzer:
     # -- execution --------------------------------------------------------------------
 
     def _execute(self, seed: Seed) -> ExecutionTrace:
-        """Run the seed's transaction sequence on a fresh state fork.
+        """Run the seed's transaction sequence against the deployed state.
 
-        With ``use_state_cache`` (§VI future-work optimization) the longest
-        memoized transaction prefix is skipped: its cached chain state is
-        forked and only the suffix replays.
+        The base chain is journal-reset to the post-deployment snapshot
+        (O(slots touched by the previous iteration), not a deep copy of the
+        world).  With ``use_state_cache`` (§VI future-work optimization) the
+        longest memoized transaction prefix is skipped instead: its cached
+        chain state is forked and only the suffix replays.
         """
         start_at = 0
         chain = None
@@ -180,7 +186,7 @@ class Fuzzer:
             start_at, chain, merged = \
                 self.state_cache.longest_prefix(seed.calls)
         if chain is None:
-            chain = self.base_chain.fork()
+            chain = self.base_chain.reset_to_base()
             merged = ExecutionTrace()
 
         for index in range(start_at, len(seed.calls)):

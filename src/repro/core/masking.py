@@ -129,13 +129,38 @@ def compute_mask(stream: bytes, probe, rng: random.Random,
     return mask
 
 
+def _spread_sample(seq: list, k: int) -> list:
+    """Up to ``k`` elements of ``seq``, evenly spaced, first and last kept."""
+    if k <= 0:
+        return []
+    if k >= len(seq):
+        return list(seq)
+    if k == 1:
+        return [seq[0]]
+    last = len(seq) - 1
+    return sorted({seq[i * last // (k - 1)] for i in range(k)})
+
+
 def _sample_positions(length: int, limit: int) -> list:
-    """Evenly spread probe positions, always including word boundaries."""
+    """Evenly spread probe positions, always including word boundaries.
+
+    Streams are sequences of 32-byte ABI words, so aligned word starts are
+    the highest-value probe points (each one decides a whole argument's
+    mutability): every boundary is probed while the budget allows, and the
+    remaining budget is spread evenly over the interior bytes.  When there
+    are more words than budget, the boundaries themselves are sampled
+    evenly across the whole stream (never truncated from the front), so
+    the tail arguments of long calldata stay probed.
+    """
     if length <= limit:
         return list(range(length))
-    step = max(1, length // limit)
-    positions = list(range(0, length, step))[:limit]
-    return positions
+    boundaries = list(range(0, length, 32))
+    if len(boundaries) >= limit:
+        return _spread_sample(boundaries, limit)
+    interior = _spread_sample(
+        [p for p in range(length) if p % 32 != 0],
+        limit - len(boundaries))
+    return sorted(set(boundaries) | set(interior))
 
 
 class SeedMutator:

@@ -16,7 +16,12 @@ Correctness notes:
   deterministically per transaction);
 * the trace of the skipped prefix is replayed into the seed's merged trace
   (its coverage still belongs to the seed) but with ``steps`` zeroed — the
-  whole point is that the skipped work costs no execution time.
+  whole point is that the skipped work costs no execution time;
+* cached entries are point-in-time deep forks (``Chain.fork``), so they are
+  unaffected by the fuzzer's journal-based ``reset_to_base`` of the base
+  chain: a cache *miss* resets the base chain in place, while a *hit*
+  executes on a private fork of the memoized state — the base mark is never
+  copied into either.
 
 Enabled via ``FuzzerConfig.use_state_cache``; off by default so the
 benchmarked system stays faithful to the published design.

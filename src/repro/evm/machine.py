@@ -5,14 +5,30 @@ calls) against a ``world`` object supplied by :mod:`repro.chain.state`.  It
 maintains taint shadows, records semantic trace events, and implements real
 revert/rollback semantics via world snapshots, so that reentrancy, unhandled
 exceptions, and overflow truncation behave exactly as they would on Ethereum.
+
+The hot loop is table-dispatched: :func:`repro.evm.analysis.analyze_code`
+predecodes each bytecode once per process (jumpdests, PUSH immediates,
+per-opcode gas, handler functions from :mod:`repro.evm.handlers`), and
+``_run`` walks that table with no per-step dict probes or enum
+constructions.
 """
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 
-from repro.evm import opcodes
+from repro.evm.analysis import (
+    KIND_CALL,
+    KIND_DUP,
+    KIND_JUMP,
+    KIND_JUMPDEST,
+    KIND_JUMPI,
+    KIND_PUSH,
+    KIND_SIMPLE,
+    KIND_STOP,
+    KIND_SWAP,
+    analyze_code,
+)
 from repro.evm.errors import (
     CallDepthExceeded,
     EVMError,
@@ -21,29 +37,20 @@ from repro.evm.errors import (
     InvalidOpcode,
     OutOfGas,
     Revert,
+    StackOverflow,
+    StackUnderflow,
 )
+from repro.evm.handlers import keccak  # noqa: F401  (public API, re-export)
 from repro.evm.memory import Memory
-from repro.evm.opcodes import Op
-from repro.evm.stack import Stack
+from repro.evm.stack import STACK_LIMIT, Stack
 from repro.evm.trace import (
     EMPTY_SHADOW,
-    BlockStateEvent,
     BranchEvent,
     CallEvent,
-    CompareEvent,
     ExecutionTrace,
-    OverflowEvent,
-    SelfDestructEvent,
     Shadow,
-    StorageEvent,
-    Taint,
-    U256_MAX,
     call_result_tag,
-    combine_and,
-    combine_or,
-    comparison_shadow,
     is_call_result_tag,
-    merge_taints,
 )
 
 WORD = 1 << 256
@@ -53,12 +60,7 @@ CALL_DEPTH_LIMIT = 1024
 CALL_STIPEND = 2300
 
 
-def keccak(data: bytes) -> int:
-    """Contract-visible hash (sha3-256 stands in for keccak-256 offline)."""
-    return int.from_bytes(hashlib.sha3_256(data).digest(), "big")
-
-
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One message call: the unit the machine executes."""
 
@@ -72,7 +74,7 @@ class Message:
     is_delegate: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecutionResult:
     """Outcome of executing a message."""
 
@@ -82,7 +84,7 @@ class ExecutionResult:
     gas_left: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class CallContext:
     """Per-frame execution context."""
 
@@ -118,15 +120,17 @@ class Machine:
         self.max_steps = max_steps
         self.trace = ExecutionTrace()
         self._steps = 0
+        self._executed = False
         self._active_addresses: list[int] = []
-        self._jumpdests_cache: dict[bytes, frozenset] = {}
 
     # -- public API ---------------------------------------------------------
 
     def execute(self, msg: Message) -> ExecutionResult:
         """Execute ``msg`` as the outermost frame of a transaction."""
         self._steps = 0
-        self.trace = ExecutionTrace()
+        if self._executed:  # machines are usually single-use: reuse the
+            self.trace = ExecutionTrace()  # __init__ trace on first execute
+        self._executed = True
         snapshot = self.world.snapshot()
         result = self._call(msg, depth=0)
         if not result.success:
@@ -164,104 +168,115 @@ class Machine:
         finally:
             self._active_addresses.pop()
 
-    def _jumpdests(self, code: bytes) -> frozenset:
-        cached = self._jumpdests_cache.get(code)
-        if cached is not None:
-            return cached
-        dests = set()
-        i = 0
-        n = len(code)
-        while i < n:
-            op = code[i]
-            if op == Op.JUMPDEST:
-                dests.add(i)
-            if opcodes.is_push(op):
-                i += opcodes.push_width(op)
-            i += 1
-        frozen = frozenset(dests)
-        self._jumpdests_cache[code] = frozen
-        return frozen
-
     # -- the interpreter loop -------------------------------------------------
 
     def _run(self, frame: CallContext, depth: int) -> ExecutionResult:
         msg = frame.msg
         code = msg.code
         stack = frame.stack
-        memory = frame.memory
         gas = msg.gas
-        jumpdests = self._jumpdests(code)
-        push_val = stack.push
-        n = len(code)
+        analysis = analyze_code(code)
+        jumpdests = analysis.jumpdests
+        decoded = analysis.decoded
+        n = analysis.code_len
+        values = stack.values
+        shadows = stack.shadows
+        max_steps = self.max_steps
+        address = msg.address
+        pc = frame.pc
+        # local step counter: synced with self._steps only around nested
+        # calls (KIND_CALL) and on frame exit — see the finally clause
+        steps = self._steps
 
         try:
-            while frame.pc < n:
-                self._steps += 1
-                if self._steps > self.max_steps:
+            while pc < n:
+                steps += 1
+                if steps > max_steps:
                     raise OutOfGas("per-transaction step budget exhausted")
-                pc = frame.pc
-                op = code[pc]
-                info = opcodes.OPCODE_INFO.get(op)
-                if info is None:
-                    raise InvalidOpcode(f"undefined opcode {op:#x} at pc={pc}")
-                gas -= info.gas
+                entry = decoded[pc]
+                if entry is None:
+                    raise InvalidOpcode(
+                        f"undefined opcode {code[pc]:#x} at pc={pc}")
+                kind, cost, a, b = entry
+                gas -= cost
                 if gas < 0:
                     raise OutOfGas(f"out of gas at pc={pc}")
 
-                if opcodes.is_push(op):
-                    width = opcodes.push_width(op)
-                    imm = code[pc + 1: pc + 1 + width]
-                    push_val(int.from_bytes(imm, "big"))
-                    frame.pc = pc + 1 + width
+                if kind == KIND_PUSH:
+                    # inlined stack.push(a) with the interned empty shadow
+                    if len(values) >= STACK_LIMIT:
+                        raise StackOverflow("stack limit of 1024 exceeded")
+                    values.append(a)
+                    shadows.append(EMPTY_SHADOW)
+                    pc = b
                     continue
 
-                if opcodes.is_dup(op):
-                    stack.dup(op - 0x80 + 1)
-                    frame.pc = pc + 1
+                if kind == KIND_SIMPLE:
+                    result = a(self, pc, frame, depth, gas)
+                    if result is not None:
+                        tag, payload = result
+                        if tag == "halt":
+                            return ExecutionResult(True, payload,
+                                                   gas_left=gas)
+                        gas = payload
+                    pc = b
                     continue
 
-                if opcodes.is_swap(op):
-                    stack.swap(op - 0x90 + 1)
-                    frame.pc = pc + 1
+                if kind == KIND_DUP:
+                    stack.dup(a)
+                    pc = b
                     continue
 
-                if op == Op.STOP:
-                    return ExecutionResult(True, gas_left=gas)
-
-                if op == Op.JUMPDEST:
-                    frame.pc = pc + 1
+                if kind == KIND_SWAP:
+                    stack.swap(a)
+                    pc = b
                     continue
 
-                if op == Op.JUMP:
-                    dest = stack.pop_value()
-                    if dest not in jumpdests:
-                        raise InvalidJump(f"JUMP to {dest} at pc={pc}")
-                    frame.pc = dest
-                    continue
-
-                if op == Op.JUMPI:
-                    dest, dest_shadow = stack.pop()
-                    cond, cond_shadow = stack.pop()
+                if kind == KIND_JUMPI:
+                    if not values:
+                        raise StackUnderflow("pop from empty stack")
+                    dest = values.pop()
+                    shadows.pop()
+                    if not values:
+                        raise StackUnderflow("pop from empty stack")
+                    cond = values.pop()
+                    cond_shadow = shadows.pop()
                     taken = cond != 0
-                    self._record_branch(pc, msg.address, depth, cond, taken,
+                    self._record_branch(pc, address, depth, cond, taken,
                                         dest, cond_shadow)
                     if taken:
                         if dest not in jumpdests:
                             raise InvalidJump(f"JUMPI to {dest} at pc={pc}")
-                        frame.pc = dest
+                        pc = dest
                     else:
-                        frame.pc = pc + 1
+                        pc = b
                     continue
 
-                handler_result = self._execute_simple(
-                    op, pc, frame, depth, gas)
-                if handler_result is not None:
-                    kind, payload = handler_result
-                    if kind == "halt":
-                        return ExecutionResult(True, payload, gas_left=gas)
-                    if kind == "gas":
-                        gas = payload
-                frame.pc = pc + 1
+                if kind == KIND_JUMP:
+                    if not values:
+                        raise StackUnderflow("pop from empty stack")
+                    shadows.pop()
+                    dest = values.pop()
+                    if dest not in jumpdests:
+                        raise InvalidJump(f"JUMP to {dest} at pc={pc}")
+                    pc = dest
+                    continue
+
+                if kind == KIND_JUMPDEST:
+                    pc = b
+                    continue
+
+                if kind == KIND_CALL:
+                    # nested frames advance self._steps: sync out, reload
+                    self._steps = steps
+                    result = a(self, pc, frame, depth, gas)
+                    steps = self._steps
+                    gas = result[1]
+                    pc = b
+                    continue
+
+                # KIND_STOP
+                return ExecutionResult(True, gas_left=gas)
 
             return ExecutionResult(True, gas_left=gas)
         except Revert as exc:
@@ -269,341 +284,12 @@ class Machine:
         except EVMError as exc:
             return ExecutionResult(
                 False, error=f"{type(exc).__name__}: {exc}", gas_left=0)
-
-    # -- individual opcode semantics -----------------------------------------
-
-    def _execute_simple(self, op: int, pc: int, frame: CallContext,
-                        depth: int, gas: int):
-        """Execute one non-control-flow opcode.
-
-        Returns ``None`` for ordinary fallthrough, ``("halt", returndata)``
-        for RETURN, or ``("gas", new_gas)`` when the opcode consumed dynamic
-        gas (CALL family).
-        """
-        stack = frame.stack
-        memory = frame.memory
-        msg = frame.msg
-        addr = msg.address
-
-        if op == Op.ADD or op == Op.SUB or op == Op.MUL:
-            x, sx = stack.pop()
-            y, sy = stack.pop()
-            if op == Op.ADD:
-                raw = x + y
-            elif op == Op.SUB:
-                raw = x - y
-            else:
-                raw = x * y
-            result = raw % WORD
-            if raw != result:
-                self.trace.overflows.append(OverflowEvent(
-                    pc=pc, address=addr, depth=depth,
-                    op_name=Op(op).name, lhs=x, rhs=y, result=result))
-            stack.push(result, Shadow(merge_taints(sx, sy)))
-            return None
-
-        if op in (Op.DIV, Op.MOD):
-            x, sx = stack.pop()
-            y, sy = stack.pop()
-            if y == 0:
-                result = 0
-            elif op == Op.DIV:
-                result = x // y
-            else:
-                result = x % y
-            stack.push(result, Shadow(merge_taints(sx, sy)))
-            return None
-
-        if op in (Op.SDIV, Op.SMOD):
-            x, sx = stack.pop()
-            y, sy = stack.pop()
-            sx_v = x - WORD if x >= WORD // 2 else x
-            sy_v = y - WORD if y >= WORD // 2 else y
-            if sy_v == 0:
-                result = 0
-            elif op == Op.SDIV:
-                result = abs(sx_v) // abs(sy_v) * (1 if sx_v * sy_v > 0 else -1)
-            else:
-                result = abs(sx_v) % abs(sy_v) * (1 if sx_v >= 0 else -1)
-            stack.push(result % WORD, Shadow(merge_taints(sx, sy)))
-            return None
-
-        if op == Op.ADDMOD or op == Op.MULMOD:
-            x, sx = stack.pop()
-            y, sy = stack.pop()
-            m, sm = stack.pop()
-            if m == 0:
-                result = 0
-            elif op == Op.ADDMOD:
-                result = (x + y) % m
-            else:
-                result = (x * y) % m
-            stack.push(result, Shadow(merge_taints(sx, sy, sm)))
-            return None
-
-        if op == Op.EXP:
-            x, sx = stack.pop()
-            y, sy = stack.pop()
-            stack.push(pow(x, y, WORD), Shadow(merge_taints(sx, sy)))
-            return None
-
-        if op == Op.SIGNEXTEND:
-            b, sb = stack.pop()
-            x, sx = stack.pop()
-            if b < 31:
-                bit = 8 * (b + 1) - 1
-                if x & (1 << bit):
-                    x |= WORD - (1 << (bit + 1))
-                else:
-                    x &= (1 << (bit + 1)) - 1
-            stack.push(x % WORD, Shadow(merge_taints(sb, sx)))
-            return None
-
-        if op in (Op.LT, Op.GT, Op.SLT, Op.SGT, Op.EQ):
-            x, sx = stack.pop()
-            y, sy = stack.pop()
-            name = Op(op).name
-            taints = merge_taints(sx, sy)
-            shadow = comparison_shadow(name, x, y, taints)
-            result = 1 if shadow.dist_true == 0 else 0
-            self.trace.compares.append(CompareEvent(
-                pc=pc, address=addr, depth=depth,
-                op_name=name, lhs=x, rhs=y, taints=taints))
-            if Taint.CALLER in taints:
-                frame.caller_checked = True
-            stack.push(result, shadow)
-            return None
-
-        if op == Op.ISZERO:
-            x, sx = stack.pop()
-            if sx.dist_true is None:
-                sx = comparison_shadow("EQ", x, 0, sx.taints)
-            stack.push(0 if x else 1, sx.negated())
-            return None
-
-        if op == Op.AND:
-            x, sx = stack.pop()
-            y, sy = stack.pop()
-            # Boolean AND of two comparison results keeps distance info.
-            if sx.dist_true is not None and sy.dist_true is not None:
-                shadow = combine_and(sx, sy)
-            else:
-                shadow = Shadow(merge_taints(sx, sy))
-            stack.push(x & y, shadow)
-            return None
-
-        if op == Op.OR:
-            x, sx = stack.pop()
-            y, sy = stack.pop()
-            if sx.dist_true is not None and sy.dist_true is not None:
-                shadow = combine_or(sx, sy)
-            else:
-                shadow = Shadow(merge_taints(sx, sy))
-            stack.push(x | y, shadow)
-            return None
-
-        if op == Op.XOR:
-            x, sx = stack.pop()
-            y, sy = stack.pop()
-            stack.push(x ^ y, Shadow(merge_taints(sx, sy)))
-            return None
-
-        if op == Op.NOT:
-            x, sx = stack.pop()
-            stack.push(U256_MAX ^ x, Shadow(sx.taints))
-            return None
-
-        if op == Op.BYTE:
-            i, si = stack.pop()
-            x, sx = stack.pop()
-            result = (x >> (8 * (31 - i))) & 0xFF if i < 32 else 0
-            stack.push(result, Shadow(merge_taints(si, sx)))
-            return None
-
-        if op == Op.SHL:
-            shift, ss = stack.pop()
-            x, sx = stack.pop()
-            result = (x << shift) % WORD if shift < 256 else 0
-            stack.push(result, Shadow(merge_taints(ss, sx)))
-            return None
-
-        if op == Op.SHR:
-            shift, ss = stack.pop()
-            x, sx = stack.pop()
-            result = x >> shift if shift < 256 else 0
-            stack.push(result, Shadow(merge_taints(ss, sx)))
-            return None
-
-        if op == Op.SHA3:
-            offset = stack.pop_value()
-            size = stack.pop_value()
-            data = memory.read(offset, size)
-            taints = memory.range_taints(offset, size)
-            stack.push(keccak(data), Shadow(taints))
-            return None
-
-        if op == Op.ADDRESS:
-            stack.push(addr)
-            return None
-
-        if op == Op.BALANCE:
-            target, _ = stack.pop()
-            stack.push(self.world.get_balance(target),
-                       Shadow(frozenset({Taint.BALANCE})))
-            return None
-
-        if op == Op.ORIGIN:
-            stack.push(msg.origin, Shadow(frozenset({Taint.ORIGIN})))
-            return None
-
-        if op == Op.CALLER:
-            stack.push(msg.caller, Shadow(frozenset({Taint.CALLER})))
-            return None
-
-        if op == Op.CALLVALUE:
-            stack.push(msg.value, Shadow(frozenset({Taint.CALLVALUE})))
-            return None
-
-        if op == Op.CALLDATALOAD:
-            offset = stack.pop_value()
-            word = msg.data[offset:offset + 32]
-            word = word + b"\x00" * (32 - len(word))
-            stack.push(int.from_bytes(word, "big"),
-                       Shadow(frozenset({Taint.CALLDATA})))
-            return None
-
-        if op == Op.CALLDATASIZE:
-            stack.push(len(msg.data))
-            return None
-
-        if op == Op.CODESIZE:
-            stack.push(len(msg.code))
-            return None
-
-        if op == Op.GASPRICE:
-            stack.push(1)
-            return None
-
-        if op in (Op.TIMESTAMP, Op.NUMBER, Op.COINBASE, Op.DIFFICULTY,
-                  Op.GASLIMIT, Op.BLOCKHASH):
-            name = Op(op).name
-            self.trace.block_reads.append(BlockStateEvent(
-                pc=pc, address=addr, depth=depth, op_name=name))
-            if op == Op.BLOCKHASH:
-                height = stack.pop_value()
-                value = keccak(height.to_bytes(32, "big")) if height else 0
-            elif op == Op.TIMESTAMP:
-                value = self.block.timestamp
-            elif op == Op.NUMBER:
-                value = self.block.number
-            elif op == Op.COINBASE:
-                value = self.block.coinbase
-            elif op == Op.DIFFICULTY:
-                value = self.block.difficulty
-            else:
-                value = self.block.gas_limit
-            stack.push(value, Shadow(frozenset({Taint.BLOCK})))
-            return None
-
-        if op == Op.POP:
-            stack.pop()
-            return None
-
-        if op == Op.MLOAD:
-            offset = stack.pop_value()
-            value, shadow = memory.load_word(offset)
-            stack.push(value, shadow)
-            return None
-
-        if op == Op.MSTORE:
-            offset = stack.pop_value()
-            value, shadow = stack.pop()
-            memory.store_word(offset, value, shadow)
-            return None
-
-        if op == Op.MSTORE8:
-            offset = stack.pop_value()
-            value = stack.pop_value()
-            memory.store_byte(offset, value)
-            return None
-
-        if op == Op.SLOAD:
-            slot = stack.pop_value()
-            value, shadow = self.world.get_storage(addr, slot)
-            self.trace.storage_ops.append(StorageEvent(
-                pc=pc, address=addr, depth=depth, kind="read",
-                slot=slot, value=value))
-            stack.push(value, shadow)
-            return None
-
-        if op == Op.SSTORE:
-            slot = stack.pop_value()
-            value, shadow = stack.pop()
-            self.world.set_storage(addr, slot, value, Shadow(shadow.taints))
-            self.trace.storage_ops.append(StorageEvent(
-                pc=pc, address=addr, depth=depth, kind="write",
-                slot=slot, value=value,
-                after_external_call=frame.made_external_call))
-            return None
-
-        if op == Op.PC:
-            stack.push(pc)
-            return None
-
-        if op == Op.MSIZE:
-            stack.push(len(memory))
-            return None
-
-        if op == Op.GAS:
-            stack.push(max(gas, 0))
-            return None
-
-        if op == Op.LOG0:
-            stack.pop()
-            stack.pop()
-            return None
-
-        if op == Op.LOG1:
-            stack.pop()
-            stack.pop()
-            stack.pop()
-            return None
-
-        if op == Op.RETURN:
-            offset = stack.pop_value()
-            size = stack.pop_value()
-            return ("halt", memory.read(offset, size))
-
-        if op == Op.REVERT:
-            offset = stack.pop_value()
-            size = stack.pop_value()
-            raise Revert(memory.read(offset, size).hex() or "explicit revert")
-
-        if op == Op.INVALID:
-            raise InvalidOpcode(f"INVALID at pc={pc}")
-
-        if op == Op.SELFDESTRUCT:
-            beneficiary = stack.pop_value()
-            self.trace.selfdestructs.append(SelfDestructEvent(
-                pc=pc, address=addr, depth=depth,
-                beneficiary=beneficiary, caller=msg.caller, origin=msg.origin,
-                guarded_by_caller_check=frame.caller_checked))
-            balance = self.world.get_balance(addr)
-            if balance:
-                self.world.transfer(addr, beneficiary, balance)
-            self.world.mark_destroyed(addr)
-            return ("halt", b"")
-
-        if op == Op.CALL:
-            return ("gas", self._op_call(pc, frame, depth, gas))
-
-        if op == Op.DELEGATECALL:
-            return ("gas", self._op_delegatecall(pc, frame, depth, gas))
-
-        if op == Op.CREATE:
-            raise InvalidOpcode("CREATE is not supported by the MiniSol EVM")
-
-        raise InvalidOpcode(f"unhandled opcode {op:#x} at pc={pc}")
+        finally:
+            # steps may lag self._steps when an exception escaped a nested
+            # call (the callee already synced a larger total); take the max
+            if steps > self._steps:
+                self._steps = steps
+            frame.pc = pc
 
     # -- calls -----------------------------------------------------------------
 
@@ -631,6 +317,7 @@ class Machine:
         frame.made_external_call = True
 
         snapshot = self.world.snapshot()
+        trace_mark = self.trace.subcall_mark()
         inner = Message(
             address=target, caller=msg.address, origin=msg.origin,
             value=value, data=data, gas=call_gas,
@@ -640,6 +327,7 @@ class Machine:
             self.world.commit(snapshot)
         else:
             self.world.revert_to(snapshot)
+            self.trace.rollback_subcall(trace_mark)
             event.callee_error = result.error
         event.success = result.success
         if ret_size and result.returndata:
@@ -670,6 +358,7 @@ class Machine:
         frame.made_external_call = True
 
         snapshot = self.world.snapshot()
+        trace_mark = self.trace.subcall_mark()
         inner = Message(
             address=msg.address, caller=msg.caller, origin=msg.origin,
             value=msg.value, data=data, gas=call_gas,
@@ -679,6 +368,7 @@ class Machine:
             self.world.commit(snapshot)
         else:
             self.world.revert_to(snapshot)
+            self.trace.rollback_subcall(trace_mark)
             event.callee_error = result.error
         event.success = result.success
         if ret_size and result.returndata:

@@ -41,7 +41,7 @@ def is_call_result_tag(tag: str) -> bool:
     return isinstance(tag, str) and tag.startswith("cr:")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Shadow:
     """Taint + branch-distance metadata for one stack value.
 
@@ -132,7 +132,7 @@ def combine_or(a: Shadow, b: Shadow) -> Shadow:
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEvent:
     """Base record: where in which contract, at what call depth."""
 
@@ -141,7 +141,7 @@ class TraceEvent:
     depth: int
 
 
-@dataclass
+@dataclass(slots=True)
 class BranchEvent(TraceEvent):
     """One executed JUMPI."""
 
@@ -158,7 +158,7 @@ class BranchEvent(TraceEvent):
         return self.dist_false if self.taken else self.dist_true
 
 
-@dataclass
+@dataclass(slots=True)
 class CompareEvent(TraceEvent):
     """One executed comparison instruction (LT/GT/SLT/SGT/EQ)."""
 
@@ -168,7 +168,7 @@ class CompareEvent(TraceEvent):
     taints: frozenset = frozenset()
 
 
-@dataclass
+@dataclass(slots=True)
 class CallEvent(TraceEvent):
     """One CALL / DELEGATECALL, including gas and value observed."""
 
@@ -186,7 +186,7 @@ class CallEvent(TraceEvent):
     guarded: bool = False  # a msg.sender comparison preceded this call
 
 
-@dataclass
+@dataclass(slots=True)
 class OverflowEvent(TraceEvent):
     """An ADD/MUL/SUB whose mathematical result was truncated mod 2**256."""
 
@@ -196,7 +196,7 @@ class OverflowEvent(TraceEvent):
     result: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class StorageEvent(TraceEvent):
     """An SLOAD (kind='read') or SSTORE (kind='write')."""
 
@@ -206,7 +206,7 @@ class StorageEvent(TraceEvent):
     after_external_call: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class SelfDestructEvent(TraceEvent):
     """A SELFDESTRUCT, with the transaction context that reached it."""
 
@@ -216,14 +216,14 @@ class SelfDestructEvent(TraceEvent):
     guarded_by_caller_check: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class BlockStateEvent(TraceEvent):
     """A block-state read (TIMESTAMP / NUMBER / ...)."""
 
     op_name: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecutionTrace:
     """Everything recorded during one transaction's execution."""
 
@@ -242,6 +242,29 @@ class ExecutionTrace:
     steps: int = 0
     reverted: bool = False
     error: str | None = None
+
+    def subcall_mark(self) -> tuple:
+        """Mark the state-effect event streams before entering a subcall.
+
+        Only *state-effect* events are marked (storage ops, overflows,
+        selfdestructs, ether received): if the subcall reverts, those
+        describe state that was rolled back and must not reach the oracles.
+        Control-flow events (branches, compares, calls, block reads) stay —
+        they are coverage/feedback signals and really did execute, and
+        ``calls`` must never shrink because call-result taint tags index
+        into it.
+        """
+        return (len(self.storage_ops), len(self.overflows),
+                len(self.selfdestructs), dict(self.ether_received))
+
+    def rollback_subcall(self, mark: tuple) -> None:
+        """Drop state-effect events recorded since ``mark`` (reverted frame)."""
+        n_storage, n_overflows, n_selfdestructs, ether = mark
+        del self.storage_ops[n_storage:]
+        del self.overflows[n_overflows:]
+        del self.selfdestructs[n_selfdestructs:]
+        self.ether_received.clear()
+        self.ether_received.update(ether)
 
     def merge(self, other: "ExecutionTrace") -> None:
         """Append another trace's events into this one (sequence-level view)."""

@@ -110,7 +110,12 @@ class FindingCollector:
         return True
 
     def extend(self, findings) -> int:
-        return sum(1 for f in findings if self.add(f))
+        count = 0
+        add = self.add
+        for finding in findings:
+            if add(finding):
+                count += 1
+        return count
 
     def all(self) -> list:
         return sorted(self.findings.values(),

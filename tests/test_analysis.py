@@ -32,10 +32,12 @@ class TestDisassembler:
         assert instructions[0].operand == 0x1234
         assert instructions[1].pc == 3
 
-    def test_truncated_push_tolerated(self):
-        code = bytes([0x62, 0x01])  # PUSH3 with 1 byte of data
+    def test_truncated_push_zero_pads_right(self):
+        # PUSH3 with 1 byte of data: the EVM reads the two missing
+        # immediate bytes as zero, so the value is 0x010000, not 1.
+        code = bytes([0x62, 0x01])
         instructions = disassemble(code)
-        assert instructions[0].operand == 1
+        assert instructions[0].operand == 0x010000
 
     def test_jumpi_pcs(self, crowdsale_artifact):
         pcs = jumpi_pcs(crowdsale_artifact.runtime_code)

@@ -265,3 +265,85 @@ class TestAgents:
             data=encode_call(redeem, [])))
         assert receipt.success
         assert not any(c.reentrant for c in receipt.trace.calls)
+
+
+class TestJournalBasedReset:
+    """mark_base / reset_to_base: the fuzzer's O(touched-slots) alternative
+    to deep-copying the world every iteration."""
+
+    SOURCE = """
+    contract Counter {
+        uint256 count = 7;
+        function bump() public { count = count + 1; }
+    }
+    """
+
+    def _deployed_chain(self):
+        chain = Chain()
+        chain.create_account(ALICE)
+        artifact = compile_source(self.SOURCE)
+        deployed = chain.deploy(artifact, sender=ALICE)
+        return chain, artifact, deployed
+
+    def _bump(self, chain, artifact, address):
+        fn = artifact.abi.function("bump")
+        return chain.apply(Transaction(
+            sender=ALICE, to=address, data=encode_call(fn, [])))
+
+    def test_reset_restores_storage_block_and_receipts(self):
+        chain, artifact, deployed = self._deployed_chain()
+        chain.mark_base()
+        base_number = chain.block.number
+        base_timestamp = chain.block.timestamp
+
+        for _ in range(3):
+            receipt = self._bump(chain, artifact, deployed.address)
+            assert receipt.success
+        assert chain.world.get_storage(deployed.address, 0)[0] == 10
+        assert chain.block.number == base_number + 3
+        assert len(chain.receipts) == 3
+
+        chain.reset_to_base()
+        assert chain.world.get_storage(deployed.address, 0)[0] == 7
+        assert chain.block.number == base_number
+        assert chain.block.timestamp == base_timestamp
+        assert chain.receipts == []
+
+    def test_reset_removes_accounts_created_after_mark(self):
+        chain, artifact, deployed = self._deployed_chain()
+        chain.mark_base()
+        self._bump(chain, artifact, deployed.address)
+        chain.create_account(0x1234)
+        assert chain.world.exists(0x1234)
+        chain.reset_to_base()
+        assert not chain.world.exists(0x1234)
+
+    def test_reset_matches_fork_semantics(self):
+        """A journal reset must land on the same state a fresh fork of the
+        base would have — the byte-identical-campaign invariant."""
+        chain, artifact, deployed = self._deployed_chain()
+        fork = chain.fork()  # pre-mark deep copy = ground truth
+        chain.mark_base()
+        for _ in range(5):
+            self._bump(chain, artifact, deployed.address)
+        chain.reset_to_base()
+
+        replay_reset = self._bump(chain, artifact, deployed.address)
+        replay_fork = self._bump(fork, artifact, deployed.address)
+        assert replay_reset.success and replay_fork.success
+        assert chain.world.get_storage(deployed.address, 0)[0] == \
+            fork.world.get_storage(deployed.address, 0)[0]
+        assert replay_reset.block_number == replay_fork.block_number
+        assert replay_reset.trace.steps == replay_fork.trace.steps
+
+    def test_reset_without_mark_raises(self):
+        chain = Chain()
+        with pytest.raises(RuntimeError, match="mark_base"):
+            chain.reset_to_base()
+
+    def test_fork_does_not_inherit_base_mark(self):
+        chain, artifact, deployed = self._deployed_chain()
+        chain.mark_base()
+        fork = chain.fork()
+        with pytest.raises(RuntimeError, match="mark_base"):
+            fork.reset_to_base()

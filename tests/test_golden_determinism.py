@@ -1,0 +1,77 @@
+"""Golden-result determinism guard for the EVM hot path.
+
+The interpreter overhaul (shared code-analysis cache, table dispatch,
+journal-based state reset) must be *behavior-preserving*: campaign results
+have to come out byte-identical to the pre-overhaul implementation.  The
+committed fixture ``tests/data/golden_campaign.json`` was generated with
+the straight-line interpreter and fork-per-iteration reset (post
+semantics-bugfixes); this test replays the same matrix on every execution
+backend and asserts the canonical JSON still matches, so a dispatch-table
+or journal-reset regression that silently changes results is caught — not
+just one that crashes.
+
+Regenerate (only after an *intentional* semantics change):
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src:. python tests/test_golden_determinism.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.corpus import generate_d2
+from repro.orchestrator import run_matrix
+from repro.orchestrator.backends import BACKENDS
+from repro.orchestrator.store import canonical_json
+from tests.conftest import CROWDSALE_SOURCE, GAME_SOURCE
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_campaign.json"
+
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
+
+#: the matrix is small but deliberately diverse: the two hand-written
+#: contracts plus two generated d2 entries (different bug templates and
+#: gate depths), across the masked and unmasked mutation strategies
+PRESETS = ("mufuzz", "sfuzz")
+OVERRIDES = {"iterations": 30, "rng_seed": 11}
+
+
+def _golden_contracts() -> list:
+    d2 = generate_d2()
+    picks = [d2[0], d2[len(d2) // 2]]
+    return ([("Crowdsale", CROWDSALE_SOURCE), ("Game", GAME_SOURCE)]
+            + [(c.name, c.source) for c in picks])
+
+
+def _canonical_run(backend: str) -> str:
+    run = run_matrix(_golden_contracts(), presets=PRESETS, trials=1,
+                     overrides=dict(OVERRIDES), workers=WORKERS,
+                     backend=backend)
+    assert not run.errors and not run.timeouts, (backend, run.errors)
+    record = {o.job.job_id: {**o.result.to_dict(), "wall_time": 0.0}
+              for o in run.outcomes}
+    return canonical_json(record)
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_backend_matches_golden_fixture(backend):
+    assert GOLDEN_PATH.exists(), \
+        "golden fixture missing — see module docstring to regenerate"
+    assert _canonical_run(backend) == GOLDEN_PATH.read_text(), \
+        (f"{backend} backend diverged from the golden campaign fixture; "
+         f"if the semantics change was intentional, regenerate it "
+         f"(see module docstring)")
+
+
+if __name__ == "__main__":
+    if os.environ.get("REPRO_REGEN_GOLDEN") != "1":
+        raise SystemExit("set REPRO_REGEN_GOLDEN=1 to rewrite the fixture")
+    GOLDEN_PATH.parent.mkdir(exist_ok=True)
+    text = _canonical_run("inline")
+    GOLDEN_PATH.write_text(text)
+    print(f"wrote {GOLDEN_PATH} ({len(text)} bytes, "
+          f"{len(json.loads(text))} cells)")

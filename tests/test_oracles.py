@@ -5,6 +5,7 @@ import pytest
 from repro.chain import Chain, ReentrantAgent, RejectingAgent
 from repro.chain.transactions import Transaction
 from repro.compiler import compile_source, encode_call
+from repro.evm.opcodes import Op
 from repro.oracles import BugClass, OracleContext, all_oracles, oracle_for
 from repro.oracles.base import FindingCollector
 from tests.conftest import ALICE, BOB
@@ -436,3 +437,73 @@ class TestInfrastructure:
 
     def test_oracle_for_single_class(self):
         assert oracle_for(BugClass.IO).bug_class == BugClass.IO
+
+
+class TestRevertedSubcallRegressions:
+    """Oracles must not fire on state recorded inside a subcall that later
+    reverted — the machine rolls those trace events back (the ether-freeze
+    and overflow cases from the trace-pollution fix)."""
+
+    TRIVIAL_NO_SEND = """
+    contract Hoarder {
+        uint256 total = 0;
+        function poke() public { total = total + 1; }
+    }
+    """
+
+    def _receipt_from_raw(self, callee_code: bytes, cut: int,
+                          value: int = 0):
+        """Run an attacker frame that CALLs ``cut`` (which reverts) and
+        wrap the resulting trace in a successful receipt."""
+        from repro.chain.blockchain import BlockContext
+        from repro.chain.state import WorldState
+        from repro.chain.transactions import Transaction, TransactionReceipt
+        from repro.evm.machine import Machine, Message
+        from tests.test_evm import asm, push1
+
+        world = WorldState()
+        world.account(cut)
+        world.set_code(cut, callee_code)
+        world.account(0xA77)
+        world.set_balance(0xA77, 10 ** 6)
+        machine = Machine(world, BlockContext())
+        outer = asm(push1(0), push1(0), push1(0), push1(0), (value, 2),
+                    (cut, 2), (100000, 3), Op.CALL, Op.STOP)
+        msg = Message(address=0xA77, caller=0xB, origin=0xB, value=0,
+                      data=b"", gas=10 ** 6, code=outer)
+        result = machine.execute(msg)
+        assert result.success
+        tx = Transaction(sender=0xB, to=0xA77)
+        return TransactionReceipt(tx=tx, success=True, trace=machine.trace)
+
+    def test_ether_freeze_not_fired_on_reverted_receive(self):
+        from repro.oracles.ether_freeze import EtherFreezeOracle
+        from repro.compiler import compile_source
+        from repro.oracles import OracleContext
+        from tests.test_evm import asm, push1
+
+        artifact = compile_source(self.TRIVIAL_NO_SEND)
+        cut = 0xC07
+        # the contract under test receives ether, then reverts the frame:
+        # the transfer rolled back, so no ether was actually frozen
+        receipt = self._receipt_from_raw(
+            asm(push1(0), push1(0), Op.REVERT), cut, value=500)
+        ctx = OracleContext(artifact=artifact, address=cut, deployer=ALICE)
+        oracle = EtherFreezeOracle()
+        assert list(oracle.on_receipt(receipt, ctx)) == []
+        assert list(oracle.finalize(ctx)) == []
+
+    def test_overflow_in_reverted_subcall_not_reported(self):
+        from repro.oracles.overflow import IntegerOverflowOracle
+        from repro.compiler import compile_source
+        from repro.oracles import OracleContext
+        from tests.test_evm import asm, push1
+
+        artifact = compile_source(self.TRIVIAL_NO_SEND)
+        cut = 0xC07
+        callee = asm(push1(2), ((1 << 256) - 1, 32), Op.ADD, Op.POP,
+                     push1(0), push1(0), Op.REVERT)
+        receipt = self._receipt_from_raw(callee, cut)
+        ctx = OracleContext(artifact=artifact, address=cut, deployer=ALICE)
+        oracle = IntegerOverflowOracle()
+        assert list(oracle.on_receipt(receipt, ctx)) == []
