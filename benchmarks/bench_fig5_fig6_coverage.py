@@ -21,6 +21,7 @@ import pytest
 
 from benchmarks.conftest import (
     bench_backend,
+    bench_persistence,
     bench_workers,
     record_matrix_timing,
     scaled,
@@ -44,7 +45,8 @@ def _run_cohort(contracts, iterations: int, label: str) -> dict:
     run = run_matrix(
         contracts, presets=PRESET_KEYS, trials=1,
         overrides={"iterations": iterations, "rng_seed": 17},
-        workers=bench_workers(), backend=bench_backend())
+        workers=bench_workers(), backend=bench_backend(),
+        **bench_persistence(label))
     assert not run.errors and not run.timeouts, run.errors + run.timeouts
     record_matrix_timing(label, run)
     out = {}

@@ -21,6 +21,7 @@ import pytest
 
 from benchmarks.conftest import (
     bench_backend,
+    bench_persistence,
     bench_workers,
     record_matrix_timing,
     scaled,
@@ -82,7 +83,7 @@ def _fuzzer_rows(corpus, iterations: int):
         corpus, presets=FUZZER_PRESET_KEYS, trials=1,
         overrides={"iterations": iterations, "rng_seed": 11},
         supported=supported, workers=bench_workers(),
-        backend=bench_backend())
+        backend=bench_backend(), **bench_persistence("table3_fuzzers"))
     assert not run.errors and not run.timeouts, run.errors + run.timeouts
     record_matrix_timing("table3_fuzzers", run)
     rows = []

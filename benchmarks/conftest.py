@@ -54,6 +54,27 @@ def bench_backend() -> str:
     return os.environ.get("REPRO_BENCH_BACKEND") or "pool"
 
 
+def bench_persistence(label: str) -> dict:
+    """Optional ``run_matrix`` persistence kwargs for preemptible benches.
+
+    Set ``REPRO_BENCH_RESULTS_DIR`` to persist per-cell results under
+    ``<dir>/<label>/`` — an interrupted bench then resumes instead of
+    starting over, and ``REPRO_BENCH_CHECKPOINT_EVERY=N`` additionally
+    checkpoints every campaign mid-flight so the resume is mid-campaign,
+    not per-cell.  The engine's determinism guarantee keeps resumed bench
+    numbers byte-identical to uninterrupted ones.  Unset (the default,
+    and in CI) benches stay purely in-memory.
+    """
+    results_root = os.environ.get("REPRO_BENCH_RESULTS_DIR")
+    if not results_root:
+        return {}
+    kwargs: dict = {"results_dir": Path(results_root) / label}
+    every = os.environ.get("REPRO_BENCH_CHECKPOINT_EVERY")
+    if every:
+        kwargs["checkpoint_every"] = int(every)
+    return kwargs
+
+
 def record_matrix_timing(label: str, run) -> None:
     """Log one :class:`MatrixRun`'s timing into ``BENCH_orchestrator.json``.
 

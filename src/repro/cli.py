@@ -37,8 +37,27 @@ def build_parser() -> argparse.ArgumentParser:
                       help="contract name (default: first in file)")
     fuzz.add_argument("--fuzzer", choices=sorted(PRESET_CONFIGS),
                       default="mufuzz")
-    fuzz.add_argument("--iterations", type=int, default=300)
+    fuzz.add_argument("--iterations", type=int, default=None,
+                      help="execution budget (default: 300 when no other "
+                           "budget is given, else unlimited)")
     fuzz.add_argument("--seed", type=int, default=1)
+    fuzz.add_argument("--time-budget", type=float, default=None,
+                      metavar="SECONDS",
+                      help="wall-clock budget; combines with the other "
+                           "budgets (first exhausted stops the campaign)")
+    fuzz.add_argument("--tx-budget", type=int, default=None, metavar="N",
+                      help="transaction budget; combines with the other "
+                           "budgets")
+    fuzz.add_argument("--checkpoint-every", type=int, default=None,
+                      metavar="N",
+                      help="persist a resumable campaign checkpoint every "
+                           "N executions (see --checkpoint-file)")
+    fuzz.add_argument("--checkpoint-file", default=None, metavar="PATH",
+                      help="checkpoint location (default: "
+                           "FILE.checkpoint.json next to the source)")
+    fuzz.add_argument("--resume", action="store_true",
+                      help="resume from the checkpoint file if present "
+                           "(byte-identical to an uninterrupted run)")
 
     camp = sub.add_parser(
         "campaign",
@@ -56,7 +75,21 @@ def build_parser() -> argparse.ArgumentParser:
                       default=["mufuzz", "sfuzz"], metavar="FUZZER")
     camp.add_argument("--trials", type=int, default=2,
                       help="independent trials per (contract, fuzzer) cell")
-    camp.add_argument("--iterations", type=int, default=100)
+    camp.add_argument("--iterations", type=int, default=None,
+                      help="per-campaign execution budget (default: 100 "
+                           "when no other budget is given, else unlimited)")
+    camp.add_argument("--time-budget", type=float, default=None,
+                      metavar="SECONDS",
+                      help="per-campaign wall-clock budget; combines with "
+                           "the other budgets")
+    camp.add_argument("--tx-budget", type=int, default=None, metavar="N",
+                      help="per-campaign transaction budget; combines with "
+                           "the other budgets")
+    camp.add_argument("--checkpoint-every", type=int, default=None,
+                      metavar="N",
+                      help="persist mid-campaign checkpoints to "
+                           "--results-dir every N executions; an "
+                           "interrupted matrix resumes mid-campaign")
     camp.add_argument("--seed", type=int, default=1,
                       help="matrix base seed; per-trial seeds derive "
                            "deterministically from it")
@@ -110,12 +143,83 @@ def _load(args) -> object:
     return compile_cached(source, args.contract)
 
 
+def _resolve_iterations(args, default_iterations: int) -> int | None:
+    """The effective iteration budget.
+
+    An explicit ``--iterations`` always applies; otherwise the historical
+    default is used *unless* another budget was given, in which case the
+    iteration budget is lifted (open-ended, governed by time/transactions).
+    """
+    if args.iterations is not None:
+        return args.iterations
+    if args.time_budget is None and args.tx_budget is None:
+        return default_iterations
+    return None
+
+
+def _budget_overrides(args, default_iterations: int) -> dict:
+    """Config overrides for the three campaign budgets."""
+    overrides: dict = {
+        "iterations": _resolve_iterations(args, default_iterations)}
+    if args.time_budget is not None:
+        overrides["time_budget"] = args.time_budget
+    if args.tx_budget is not None:
+        overrides["tx_budget"] = args.tx_budget
+    return overrides
+
+
 def cmd_fuzz(args) -> int:
+    from repro.orchestrator.store import CheckpointSession
+
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        print("error: --checkpoint-every must be >= 1")
+        return 2
+    if (args.checkpoint_file is not None and args.checkpoint_every is None
+            and not args.resume):
+        print("error: --checkpoint-file does nothing on its own; add "
+              "--checkpoint-every N (write checkpoints) or --resume "
+              "(read one)")
+        return 2
+
     artifact = _load(args)
-    config = PRESET_CONFIGS[args.fuzzer](iterations=args.iterations,
-                                         rng_seed=args.seed)
-    fuzzer = Fuzzer(artifact, config)
-    result = fuzzer.run()
+    overrides = _budget_overrides(args, default_iterations=300)
+    config = PRESET_CONFIGS[args.fuzzer](rng_seed=args.seed, **overrides)
+
+    session = None
+    fuzzer = None
+    if args.checkpoint_every is not None or args.resume:
+        from repro.engine.checkpoint import checkpoint_fingerprint
+        checkpoint_path = (args.checkpoint_file
+                           or args.file + ".checkpoint.json")
+        session = CheckpointSession(
+            checkpoint_path,
+            checkpoint_fingerprint(artifact.source, artifact.name, config),
+            args.checkpoint_every)
+        checkpoint = session.load()
+        if (checkpoint is None and args.checkpoint_every is not None
+                and os.path.exists(checkpoint_path)):
+            # the file holds some *other* campaign's resumable state
+            # (different source/contract/config/seed); our first emitted
+            # checkpoint would destroy it
+            print(f"error: {checkpoint_path} belongs to a different "
+                  f"campaign; refusing to overwrite it — pass another "
+                  f"--checkpoint-file or delete it first")
+            return 2
+        if args.resume:
+            if checkpoint is not None:
+                fuzzer = Fuzzer.resume(checkpoint, artifact=artifact)
+                print(f"resumed from {session.path} "
+                      f"at execution {fuzzer.executions}")
+            else:
+                print(f"no matching checkpoint at {session.path}; "
+                      f"starting fresh")
+    if fuzzer is None:
+        fuzzer = Fuzzer(artifact, config)
+
+    result = fuzzer.run(**(session.run_kwargs() if session else {}))
+    if session is not None:
+        session.complete()
+
     print(f"{result.fuzzer} on {result.contract}: "
           f"{result.coverage:.1%} branch coverage, "
           f"{result.iterations} executions, "
@@ -193,6 +297,13 @@ def cmd_campaign(args) -> int:
         print(f"error: --recycle-after only applies to the pool backend "
               f"(got {backend})")
         return 2
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        print("error: --checkpoint-every must be >= 1")
+        return 2
+    if args.checkpoint_every is not None and args.results_dir is None:
+        print("error: --checkpoint-every requires --results-dir "
+              "(checkpoints persist next to the results)")
+        return 2
     if backend == "inline":
         workers = 1  # inline runs serially whatever --workers says
     # tolerate repeated --fuzzers values (they would collide as job ids)
@@ -217,10 +328,14 @@ def cmd_campaign(args) -> int:
 
     run = run_matrix(
         contracts, presets=args.fuzzers, trials=args.trials,
-        base_seed=args.seed, overrides={"iterations": args.iterations},
+        base_seed=args.seed,
+        overrides={"iterations": _resolve_iterations(
+            args, default_iterations=100)},
+        time_budget=args.time_budget, tx_budget=args.tx_budget,
         workers=workers, results_dir=args.results_dir,
         job_timeout=args.job_timeout, progress=progress,
-        backend=backend, recycle_after=args.recycle_after)
+        backend=backend, recycle_after=args.recycle_after,
+        checkpoint_every=args.checkpoint_every)
 
     if run.results_dir is not None:
         print(f"results dir: {run.results_dir} "

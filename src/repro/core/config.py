@@ -24,10 +24,22 @@ ENERGY_REVISIT = "revisit"   # IR-Fuzz: rare-branch revisiting
 
 @dataclass
 class FuzzerConfig:
-    """All tunables of one fuzzing campaign."""
+    """All tunables of one fuzzing campaign.
+
+    A campaign stops when *any* configured budget is exhausted; the three
+    limits combine into the single :class:`repro.engine.budget.Budget`
+    authority every engine stage consults.  ``iterations`` may be ``None``
+    for open-ended time- or transaction-budgeted campaigns, but at least
+    one of the three limits must be set.
+    """
 
     name: str = "MuFuzz"
-    iterations: int = 150
+    #: execution (full-sequence) budget; None = unlimited iterations
+    iterations: int | None = 150
+    #: transaction budget; None = unlimited transactions
+    tx_budget: int | None = None
+    #: wall-clock budget in seconds; None = unlimited time
+    time_budget: float | None = None
     rng_seed: int = 1
 
     # strategy knobs

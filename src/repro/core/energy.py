@@ -104,3 +104,20 @@ class EnergyScheduler:
 
     def weight_of(self, pc: int) -> float:
         return self.weights.get(pc, 0.0)
+
+    # -- checkpoint serialization ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "weights": sorted([pc, w] for pc, w in self.weights.items()),
+            "hit_counts": sorted([pc, taken, n] for (pc, taken), n
+                                 in self.hit_counts.items()),
+            "max_weight": self._max_weight,
+        }
+
+    def restore_state(self, data: dict) -> None:
+        self.weights = {int(pc): float(w)
+                        for pc, w in data.get("weights", ())}
+        self.hit_counts = {(int(pc), bool(taken)): int(n)
+                           for pc, taken, n in data.get("hit_counts", ())}
+        self._max_weight = float(data.get("max_weight", 1.0))

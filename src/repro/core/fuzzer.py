@@ -1,25 +1,37 @@
-"""The fuzzing campaign loop shared by MuFuzz and every baseline.
+"""The fuzzing campaign facade shared by MuFuzz and every baseline.
 
 One iteration = one execution of a full transaction sequence against a fresh
-fork of the deployed state.  The strategy knobs in
-:class:`~repro.core.config.FuzzerConfig` select the paper's components:
+fork of the deployed state.  The campaign loop itself lives in the staged
+engine (:mod:`repro.engine`); ``Fuzzer`` wires the stages together and
+keeps the historical public API:
 
 * sequence construction/mutation (§IV-A) via
-  :class:`~repro.core.sequence.SequenceGenerator`,
+  :class:`~repro.core.sequence.SequenceGenerator`, applied by the
+  :class:`~repro.engine.mutation.MutationPipeline`'s sequence stage,
 * branch-distance seed selection and mask-guided input mutation (§IV-B,
-  Algorithms 1–2) via :mod:`repro.core.masking`,
+  Algorithms 1–2) via :class:`~repro.engine.selection.SeedSelector` and
+  the pipeline's masked stage,
 * dynamic energy adjustment (§IV-C, Algorithm 3) via
   :class:`~repro.core.energy.EnergyScheduler`,
-* the nine bug oracles (§IV-D) observing every receipt.
+* the nine bug oracles (§IV-D) observing every receipt,
+* favored-edge corpus retention via
+  :class:`~repro.engine.retention.RetentionPolicy`.
 
-Mask probe executions consume campaign budget like any other execution —
-the paper's Algorithm 2 also pays per-probe fuzz runs.
+Every stopping decision routes through the single
+:class:`~repro.engine.budget.Budget` (iterations, transactions, wall
+clock).  Mask probe executions consume campaign budget like any other
+execution — the paper's Algorithm 2 also pays per-probe fuzz runs.
+
+Campaigns are interruptible: ``run(checkpoint_every=N,
+checkpoint_sink=...)`` emits a
+:class:`~repro.engine.checkpoint.CampaignCheckpoint` every N executions,
+and :meth:`Fuzzer.resume` reconstructs the campaign mid-flight with a
+byte-exact determinism guarantee (see :mod:`repro.engine.checkpoint`).
 """
 
 from __future__ import annotations
 
 import random
-import time
 
 from repro.analysis.dataflow import analyze_contract
 from repro.analysis.distance import distances_from_trace
@@ -31,21 +43,28 @@ from repro.compiler.abi import encode_call, encode_words
 from repro.compiler.artifacts import CompiledContract
 from repro.compiler.codegen import compile_source
 from repro.core.campaign import CampaignResult
-from repro.core.config import FuzzerConfig, mufuzz_config
+from repro.core.config import ENERGY_DYNAMIC, FuzzerConfig, mufuzz_config
 from repro.core.coverage import CoverageTracker
 from repro.core.energy import EnergyScheduler
 from repro.core.inputs import InputGenerator
-from repro.core.masking import MutationMask, SeedMutator, compute_mask
-from repro.core.seeds import Seed, SeedQueue, TxCall
+from repro.core.masking import SeedMutator
+from repro.core.seeds import (
+    BAD_SELECTOR_CALL,
+    FALLBACK_CALL,
+    Seed,
+    SeedQueue,
+    TxCall,
+)
 from repro.core.sequence import SequenceGenerator
 from repro.core.statecache import PrefixStateCache
+from repro.engine.budget import Budget
+from repro.engine.checkpoint import CampaignCheckpoint, CampaignState
+from repro.engine.mutation import MutationPipeline
+from repro.engine.retention import RetentionPolicy
+from repro.engine.selection import SeedSelector
 from repro.evm.trace import ExecutionTrace
-from repro.oracles.base import FindingCollector, OracleContext
+from repro.oracles.base import BugClass, FindingCollector, OracleContext
 from repro.oracles.registry import all_oracles
-
-#: pseudo-function names for dispatcher-edge probing transactions
-FALLBACK_CALL = "#fallback"
-BAD_SELECTOR_CALL = "#badselector"
 
 #: fixed account addresses used by every campaign
 DEPLOYER = 0x00D0_0001
@@ -56,7 +75,7 @@ REJECTOR = 0x00E7_7E01   # fallback-reverting agent
 
 
 class Fuzzer:
-    """Runs one campaign on one contract."""
+    """Runs one campaign on one contract (facade over the staged engine)."""
 
     def __init__(self, artifact: CompiledContract | str,
                  config: FuzzerConfig | None = None,
@@ -65,7 +84,9 @@ class Fuzzer:
             artifact = compile_source(artifact)
         self.artifact = artifact
         self.config = config if config is not None else mufuzz_config()
+        self.supported_bug_classes = supported_bug_classes
         self.rng = random.Random(self.config.rng_seed)
+        self.budget = Budget.from_config(self.config)
         self.dataflow = analyze_contract(artifact.contract_ast)
         self.prefix = PrefixAnalyzer(artifact.runtime_code)
         self.seqgen = SequenceGenerator(
@@ -81,21 +102,34 @@ class Fuzzer:
         self.collector = FindingCollector()
 
         self.queue = SeedQueue()
-        self.executions = 0
-        self.transactions = 0
-        self._global_best_distance: dict = {}
-        self._masks: dict = {}
-        self._mask_probes = 0
-        #: how many queue seeds cover each edge (AFL-style favored retention)
-        self._edge_seed_counts: dict = {}
+        self.retention = RetentionPolicy(self.queue)
         self.state_cache = (PrefixStateCache(self.config.state_cache_capacity)
                             if self.config.use_state_cache else None)
         self._setup_chain()
         self.coverage = CoverageTracker(artifact=artifact,
                                         address=self.address)
+        self.selector = SeedSelector(
+            self.rng, self.queue, self.coverage, self.address,
+            self.config.use_distance_feedback)
+        self.pipeline = MutationPipeline(
+            self.rng, self.config, self.artifact.abi, self.seqgen,
+            self.inputs, self.mutator, self._fresh_call, self.budget,
+            self._run_probe)
         self.ctx = OracleContext(
             artifact=artifact, address=self.address, deployer=DEPLOYER,
             attacker_addresses=frozenset({ATTACKER, REJECTOR}))
+        #: loop position; populated by :meth:`run` or :meth:`resume`
+        self._state: CampaignState | None = None
+
+    # -- budget-backed counters (historical attribute names) ---------------------
+
+    @property
+    def executions(self) -> int:
+        return self.budget.iterations_used
+
+    @property
+    def transactions(self) -> int:
+        return self.budget.transactions_used
 
     # -- environment -------------------------------------------------------------
 
@@ -198,14 +232,22 @@ class Fuzzer:
                 sender=call.sender, to=self.address, value=call.value,
                 data=data, gas=self.config.tx_gas, function=call.function)
             receipt = chain.apply(tx)
-            self.transactions += 1
+            self.budget.note_transaction()
             merged.merge(receipt.trace)
             for oracle in self.oracles:
                 self.collector.extend(oracle.on_receipt(receipt, self.ctx))
             if self.state_cache is not None:
                 self.state_cache.insert(seed.calls, index + 1, chain, merged)
-        self.executions += 1
+        self.budget.note_execution()
         return merged
+
+    def _run_probe(self, variant: Seed) -> Seed:
+        """Execute one mask-probe variant through the full
+        execute → feedback → retain cycle (the masked stage's hook)."""
+        trace = self._execute(variant)
+        new_edges = self._feedback(variant, trace)
+        self.retention.retain(variant, new_edges)
+        return variant
 
     # -- feedback ------------------------------------------------------------------------
 
@@ -223,161 +265,37 @@ class Fuzzer:
             if event.address == self.address
             and self._nesting_of(event.pc) >= 1}
 
-        seed.distances = {}
-        seed.improved_distance = False
-        for key, dist in distances_from_trace(trace).items():
-            address, pc, taken = key
-            if address != self.address:
-                continue
-            if (pc, taken) in self.coverage.covered:
-                continue
-            seed.distances[key] = dist
-            best = self._global_best_distance.get(key)
-            if best is None or dist < best:
-                self._global_best_distance[key] = dist
-                seed.improved_distance = True
+        self.selector.observe(seed, distances_from_trace(trace))
         return new_edges
 
     def _nesting_of(self, pc: int) -> int:
         info = self.artifact.branch_info.get(pc)
         return info.nesting if info else 0
 
-    # -- corpus retention --------------------------------------------------------
-
-    def _retain(self, seed: Seed, new_edges: int) -> bool:
-        """Add ``seed`` to the queue on new coverage, or when it exercises an
-        edge few retained seeds cover (AFL's favored-input heuristic: keeps
-        rare-state seeds alive so later mutations can build on them)."""
-        rare = any(self._edge_seed_counts.get(edge, 0) < 2
-                   for edge in seed.covered_edges)
-        if not new_edges and not rare:
-            return False
-        self.queue.add(seed)
-        for edge in seed.covered_edges:
-            self._edge_seed_counts[edge] = \
-                self._edge_seed_counts.get(edge, 0) + 1
-        return True
-
-    # -- seed selection (Algorithm 1, lines 4–13) --------------------------------------------
-
-    def _select_seed(self) -> Seed:
-        if self.config.use_distance_feedback and self.rng.random() < 0.5:
-            targets = [t for t in self._global_best_distance
-                       if (t[1], t[2]) not in self.coverage.covered]
-            if targets:
-                target = self.rng.choice(targets)
-                best = self.queue.best_for_target(target)
-                if best is not None:
-                    return best
-        return self.rng.choice(self.queue.seeds)
-
-    # -- mutation ---------------------------------------------------------------------------------
-
-    def _mutate(self, seed: Seed) -> Seed:
-        child = seed.clone()
-        if self.rng.random() < self.config.fallback_probability:
-            name = self.rng.choice((FALLBACK_CALL, BAD_SELECTOR_CALL))
-            pos = self.rng.randint(0, len(child.calls))
-            child.calls.insert(pos, self._fresh_call(name))
-            return child
-        roll = self.rng.random()
-        if roll < 0.25 and len(child.calls) >= 1:
-            return self._mutate_sequence(child)
-        return self._mutate_inputs(seed, child)
-
-    def _mutate_sequence(self, child: Seed) -> Seed:
-        regular = [f for f in child.functions
-                   if f not in (FALLBACK_CALL, BAD_SELECTOR_CALL)]
-        functions = self.seqgen.mutate_sequence(regular)
-        existing = {c.function: c for c in child.calls}
-        child.calls = [
-            existing[name].clone() if name in existing
-            else self._fresh_call(name)
-            for name in functions]
-        return child
-
-    def _mutate_inputs(self, parent: Seed, child: Seed) -> Seed:
-        if not child.calls:
-            return child
-        index = self.rng.randrange(len(child.calls))
-        call = child.calls[index]
-        if self.rng.random() < 0.15:
-            call.sender = self.inputs.sender()
-
-        # Dictionary/typed mutation: resample one argument from the typed
-        # generator (which knows the contract's PUSH constants).  All
-        # fuzzers share this — it models sFuzz/ConFuzzius value dictionaries.
-        if (call.function not in (FALLBACK_CALL, BAD_SELECTOR_CALL)
-                and self.rng.random() < 0.3):
-            fn = self.artifact.abi.function(call.function)
-            if call.args:
-                arg_index = self.rng.randrange(len(call.args))
-                call.args[arg_index] = self.inputs.value_for_type(
-                    fn.inputs[arg_index])
-            if fn.payable and self.rng.random() < 0.4:
-                call.value = self.inputs.call_value_for(fn)
-            return child
-
-        # Algorithm 1 runs the masked stage for qualifying seeds *alongside*
-        # the regular mutation stage — mix rather than replace.
-        if (self.config.use_mask
-                and (parent.nested_hits or parent.improved_distance)
-                and self.rng.random() < 0.6):
-            mask = self._mask_for(parent, index)
-            if mask is not None:
-                mutated = self.mutator.masked_mutate(call, mask)
-                if mutated is not None:
-                    mutated.sender = call.sender
-                    child.calls[index] = mutated
-                return child
-
-        child.calls[index] = self.mutator.afl_mutate(call)
-        child.calls[index].sender = call.sender
-        return child
-
-    def _mask_for(self, seed: Seed, call_index: int) -> MutationMask | None:
-        """Compute (or reuse) the mutation mask for one call of one seed
-        (Algorithm 2).  Probe executions consume campaign budget, so the
-        total probe spend is capped at a fraction of the campaign; past the
-        cap, uncached masks are skipped (None → regular mutation)."""
-        key = (tuple(seed.functions), call_index)
-        cached = self._masks.get(key)
-        if cached is not None:
-            return cached
-        cap = int(self.config.iterations * self.config.mask_budget_fraction)
-        if self._mask_probes >= cap:
-            return None
-
-        target_hits = set(seed.nested_hits)
-        baseline = dict(seed.distances)
-
-        def probe(stream: bytes) -> bool:
-            if self.executions >= self.config.iterations:
-                return True  # budget exhausted: stop restricting
-            self._mask_probes += 1
-            variant = seed.clone()
-            variant.calls[call_index] = \
-                variant.calls[call_index].apply_stream(stream)
-            trace = self._execute(variant)
-            new_edges = self._feedback(variant, trace)
-            self._retain(variant, new_edges)
-            still_nested = bool(variant.nested_hits & target_hits)
-            improved = any(
-                variant.distances.get(k, 1 << 260) < baseline[k]
-                for k in baseline)
-            return still_nested or improved
-
-        call = seed.calls[call_index]
-        mask = compute_mask(call.to_stream(), probe, self.rng,
-                            probe_limit=self.config.mask_probe_limit)
-        self._masks[key] = mask
-        return mask
-
     # -- the campaign ------------------------------------------------------------------------------
 
-    def run(self) -> CampaignResult:
-        """Execute the full campaign and return its result."""
-        start = time.perf_counter()
+    def run(self, checkpoint_every: int | None = None,
+            checkpoint_sink=None) -> CampaignResult:
+        """Execute the campaign (or the remainder of a resumed one).
+
+        ``checkpoint_every=N`` emits a
+        :class:`~repro.engine.checkpoint.CampaignCheckpoint` to
+        ``checkpoint_sink(checkpoint)`` at the first iteration boundary
+        after every N executions.  A sink that raises aborts the campaign
+        mid-flight — that, or a killed process, is the interruption model;
+        :meth:`resume` continues from the last emitted checkpoint.
+        """
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError("checkpoint_every must be >= 1")
+            if checkpoint_sink is None:
+                raise ValueError("checkpoint_every requires a "
+                                 "checkpoint_sink callback")
+            if self.state_cache is not None:
+                raise ValueError(
+                    "checkpointing is not supported with use_state_cache "
+                    "(memoized chain states are not serializable)")
+        self.budget.start()
         config = self.config
 
         if not self.artifact.abi.functions:
@@ -385,34 +303,51 @@ class Fuzzer:
                 fuzzer=config.name, contract=self.artifact.name,
                 coverage=1.0, iterations=0, total_steps=0, wall_time=0.0)
 
-        # Initial population: first a covering set of sequences that calls
-        # every external function at least once (one seed per chunk for
-        # contracts larger than one sequence), then fresh random seeds.
-        initial = [Seed(calls=[self._fresh_call(f) for f in functions])
-                   for functions in self.seqgen.cover_sequences()]
-        while len(initial) < config.initial_population:
-            initial.append(self._fresh_seed())
-        for seed in initial:
-            if self.executions >= config.iterations:
-                break
-            trace = self._execute(seed)
-            self._feedback(seed, trace)
-            self._retain(seed, new_edges=1)  # initial population always kept
-            if config.energy_strategy == "dynamic" and not self.scheduler.weights:
-                self.scheduler.prefuzz(trace, self.address)
+        state = self._state
+        if state is None:
+            state = self._state = CampaignState()
+            # Initial population: first a covering set of sequences that
+            # calls every external function at least once (one seed per
+            # chunk for contracts larger than one sequence), then fresh
+            # random seeds.
+            initial = [Seed(calls=[self._fresh_call(f) for f in functions])
+                       for functions in self.seqgen.cover_sequences()]
+            while len(initial) < config.initial_population:
+                initial.append(self._fresh_seed())
+            state.pending_initial = initial
+
+        if state.phase == "init":
+            while state.pending_initial and not self.budget.exhausted():
+                seed = state.pending_initial.pop(0)
+                trace = self._execute(seed)
+                self._feedback(seed, trace)
+                # initial population always kept
+                self.retention.retain(seed, new_edges=1)
+                if (config.energy_strategy == ENERGY_DYNAMIC
+                        and not self.scheduler.weights):
+                    self.scheduler.prefuzz(trace, self.address)
+                self._maybe_checkpoint(checkpoint_every, checkpoint_sink)
+            if not state.pending_initial:
+                state.phase = "main"
 
         # main loop
-        while self.executions < config.iterations and len(self.queue):
-            seed = self._select_seed()
-            energy = self.scheduler.energy_for(seed)
-            while energy > 0 and self.executions < config.iterations:
-                energy -= 1
-                child = self._mutate(seed)
+        while not self.budget.exhausted() and len(self.queue):
+            if state.current_index is None:
+                state.current_index = self.selector.select()
+                seed = self.queue.seeds[state.current_index]
+                state.energy = self.scheduler.energy_for(seed)
+            seed = self.queue.seeds[state.current_index]
+            while state.energy > 0 and not self.budget.exhausted():
+                state.energy -= 1
+                child = self.pipeline.mutate(seed)
                 trace = self._execute(child)
                 new_edges = self._feedback(child, trace)
-                self._retain(child, new_edges)
+                self.retention.retain(child, new_edges)
                 if new_edges:
-                    energy = min(energy + 1, config.max_energy)
+                    state.energy = min(state.energy + 1, config.max_energy)
+                self._maybe_checkpoint(checkpoint_every, checkpoint_sink)
+            if state.energy <= 0:
+                state.current_index = None
 
         for oracle in self.oracles:
             self.collector.extend(oracle.finalize(self.ctx))
@@ -424,13 +359,73 @@ class Fuzzer:
             coverage=self.coverage.coverage(),
             iterations=self.executions,
             total_steps=self.coverage.total_steps,
-            wall_time=time.perf_counter() - start,
+            wall_time=self.budget.elapsed(),
             findings=self.collector.all(),
             curve=list(self.coverage.curve),
             seeds_in_queue=len(self.queue),
             transactions=self.transactions,
             example_sequence=last_seed.functions if last_seed else [],
         )
+
+    def _maybe_checkpoint(self, every: int | None, sink) -> None:
+        if every is None:
+            return
+        if self.executions - self._state.last_checkpoint >= every:
+            self._state.last_checkpoint = self.executions
+            sink(CampaignCheckpoint.capture(self))
+
+    # -- interrupt/resume --------------------------------------------------------
+
+    def checkpoint(self) -> CampaignCheckpoint:
+        """Snapshot the current campaign state (only meaningful between
+        iterations — i.e. from a ``checkpoint_sink`` or after ``run``)."""
+        if self._state is None:
+            raise ValueError("nothing to checkpoint: campaign not started")
+        return CampaignCheckpoint.capture(self)
+
+    @classmethod
+    def resume(cls, checkpoint, artifact: CompiledContract | str | None = None,
+               ) -> "Fuzzer":
+        """Reconstruct a mid-flight campaign from a checkpoint.
+
+        ``artifact`` (compiled contract or MiniSol source) may be omitted
+        when the checkpoint embeds its source.  Call :meth:`run` on the
+        returned fuzzer to continue; the eventual result is byte-identical
+        (modulo ``wall_time``) to an uninterrupted campaign.
+        """
+        if isinstance(checkpoint, dict):
+            checkpoint = CampaignCheckpoint.from_dict(checkpoint)
+        if artifact is None:
+            if checkpoint.source is None:
+                raise ValueError(
+                    "checkpoint does not embed contract source; pass the "
+                    "artifact explicitly")
+            artifact = checkpoint.source
+        if isinstance(artifact, str):
+            # a source file can hold several contracts: compile the one
+            # the checkpoint was taken from, not whichever comes first
+            try:
+                artifact = compile_source(artifact,
+                                          checkpoint.contract or None)
+            except KeyError:
+                raise ValueError(
+                    f"checkpoint belongs to contract "
+                    f"{checkpoint.contract!r}, which the given source "
+                    f"does not define") from None
+        if checkpoint.contract and artifact.name != checkpoint.contract:
+            raise ValueError(
+                f"checkpoint belongs to contract "
+                f"{checkpoint.contract!r}, not {artifact.name!r}")
+        config = FuzzerConfig(**checkpoint.config)
+        if config.use_state_cache:
+            raise ValueError("checkpoints cannot resume state-cache "
+                             "campaigns")
+        supported = checkpoint.supported_bug_classes
+        if supported is not None:
+            supported = {BugClass(value) for value in supported}
+        fuzzer = cls(artifact, config, supported)
+        checkpoint.restore_into(fuzzer)
+        return fuzzer
 
 
 def fuzz_contract(source_or_artifact, config: FuzzerConfig | None = None,

@@ -94,6 +94,24 @@ class MutationMask:
                 for mutation in sorted(mutations, key=lambda m: m.value)]
         return self._pairs
 
+    # -- checkpoint serialization ---------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON form; ``allowed`` keeps its insertion order because
+        :meth:`allowed_pairs` iterates it (mutation-choice determinism)."""
+        return {
+            "length": self.length,
+            "allowed": [[pos, sorted(m.value for m in mutations)]
+                        for pos, mutations in self.allowed.items()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MutationMask":
+        mask = cls(length=int(data["length"]))
+        for pos, values in data.get("allowed", ()):
+            mask.allowed[int(pos)] = {MutationType(v) for v in values}
+        return mask
+
     def spread(self, length: int) -> None:
         """Let unprobed positions inherit the nearest probed verdict."""
         if not self.allowed:

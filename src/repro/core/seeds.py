@@ -12,6 +12,11 @@ from dataclasses import dataclass, field
 
 WORD = 32
 
+#: pseudo-function names for dispatcher-edge probing transactions
+FALLBACK_CALL = "#fallback"
+BAD_SELECTOR_CALL = "#badselector"
+SPECIAL_CALLS = (FALLBACK_CALL, BAD_SELECTOR_CALL)
+
 
 @dataclass
 class TxCall:
@@ -44,6 +49,19 @@ class TxCall:
         return TxCall(function=self.function, args=list(self.args),
                       value=self.value, sender=self.sender)
 
+    # -- checkpoint serialization ---------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"function": self.function, "args": list(self.args),
+                "value": self.value, "sender": self.sender}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TxCall":
+        return cls(function=data["function"],
+                   args=[int(a) for a in data.get("args", ())],
+                   value=int(data.get("value", 0)),
+                   sender=int(data.get("sender", 0)))
+
 
 @dataclass
 class Seed:
@@ -58,7 +76,6 @@ class Seed:
     nested_hits: set = field(default_factory=set)
     #: True when this seed lowered the global distance to some target
     improved_distance: bool = False
-    energy: int = 0
     generation: int = 0
 
     def clone(self) -> "Seed":
@@ -72,12 +89,50 @@ class Seed:
     def __len__(self) -> int:
         return len(self.calls)
 
+    # -- checkpoint serialization ---------------------------------------------
+    # Sets and dicts are serialized in sorted order so checkpoint bytes are
+    # canonical; restoring order-insensitive state from sorted form is exact.
+
+    def to_dict(self) -> dict:
+        return {
+            "calls": [c.to_dict() for c in self.calls],
+            "covered_edges": sorted([pc, taken]
+                                    for pc, taken in self.covered_edges),
+            "distances": sorted(
+                [[list(key), dist] for key, dist in self.distances.items()]),
+            "nested_hits": sorted(self.nested_hits),
+            "improved_distance": self.improved_distance,
+            "generation": self.generation,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Seed":
+        return cls(
+            calls=[TxCall.from_dict(c) for c in data.get("calls", ())],
+            covered_edges={(int(pc), bool(taken))
+                           for pc, taken in data.get("covered_edges", ())},
+            distances={(int(a), int(pc), bool(t)): int(dist)
+                       for (a, pc, t), dist in data.get("distances", ())},
+            nested_hits={int(pc) for pc in data.get("nested_hits", ())},
+            improved_distance=bool(data.get("improved_distance", False)),
+            generation=int(data.get("generation", 0)),
+        )
+
 
 class SeedQueue:
-    """The evolving corpus: seeds enter on new coverage or better distance."""
+    """The evolving corpus: seeds enter on new coverage or better distance.
+
+    Alongside the seed list the queue maintains a target → best-seed index
+    (smallest recorded branch distance per uncovered target), updated
+    incrementally as seeds are added — ``best_for_target`` is O(1) instead
+    of a scan over the whole corpus.  A seed's ``distances`` must be final
+    before :meth:`add` (the fuzzer attaches feedback before retention).
+    """
 
     def __init__(self) -> None:
         self.seeds: list[Seed] = []
+        #: target (addr, pc, taken) -> (best distance, queue index)
+        self._target_best: dict = {}
 
     def __len__(self) -> int:
         return len(self.seeds)
@@ -86,20 +141,26 @@ class SeedQueue:
         return iter(self.seeds)
 
     def add(self, seed: Seed) -> None:
+        index = len(self.seeds)
         self.seeds.append(seed)
+        for target, dist in seed.distances.items():
+            best = self._target_best.get(target)
+            # strict improvement only: on ties the earliest seed wins,
+            # matching the historical first-match queue scan
+            if best is None or dist < best[0]:
+                self._target_best[target] = (dist, index)
 
     def best_for_target(self, target) -> Seed | None:
         """The seed with the smallest recorded distance to ``target``
         (branch-distance-feedback selection, Algorithm 1 lines 7–13)."""
-        best: Seed | None = None
-        best_dist: int | None = None
-        for seed in self.seeds:
-            dist = seed.distances.get(target)
-            if dist is None:
-                continue
-            if best_dist is None or dist < best_dist:
-                best, best_dist = seed, dist
-        return best
+        index = self.index_for_target(target)
+        return None if index is None else self.seeds[index]
+
+    def index_for_target(self, target) -> int | None:
+        """Queue index of :meth:`best_for_target`'s answer (engine-internal:
+        the campaign loop tracks its selected seed by queue position)."""
+        entry = self._target_best.get(target)
+        return None if entry is None else entry[1]
 
     def maskable(self) -> list:
         """Seeds eligible for mask-guided mutation (Algorithm 1 line 17):

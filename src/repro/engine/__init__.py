@@ -1,0 +1,46 @@
+"""The staged campaign engine.
+
+The campaign loop of :class:`repro.core.fuzzer.Fuzzer` decomposed into
+swappable stages, each owning one concern of Algorithms 1–3:
+
+* :mod:`~repro.engine.budget` — the **single** stopping authority
+  combining iteration, transaction, and wall-clock limits;
+* :mod:`~repro.engine.selection` — distance-feedback seed selection with
+  an incrementally maintained uncovered-target list;
+* :mod:`~repro.engine.mutation` — the mutation pipeline as explicit
+  weighted stages (fallback-insertion / sequence / dictionary / masked /
+  AFL);
+* :mod:`~repro.engine.retention` — favored-edge corpus retention;
+* :mod:`~repro.engine.checkpoint` — durable mid-campaign state with a
+  byte-exact interrupt/resume guarantee.
+
+``Fuzzer`` remains the public facade that wires the stages together; this
+package is where scheduling strategies and new campaign shapes get added.
+"""
+
+from repro.engine.budget import Budget
+from repro.engine.checkpoint import CampaignCheckpoint, CampaignState
+from repro.engine.mutation import (
+    AflStage,
+    DictionaryStage,
+    FallbackInsertionStage,
+    MaskedStage,
+    MutationPipeline,
+    SequenceStage,
+)
+from repro.engine.retention import RetentionPolicy
+from repro.engine.selection import SeedSelector
+
+__all__ = [
+    "AflStage",
+    "Budget",
+    "CampaignCheckpoint",
+    "CampaignState",
+    "DictionaryStage",
+    "FallbackInsertionStage",
+    "MaskedStage",
+    "MutationPipeline",
+    "RetentionPolicy",
+    "SeedSelector",
+    "SequenceStage",
+]

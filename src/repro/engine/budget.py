@@ -1,0 +1,135 @@
+"""The campaign budget: the single stopping authority of the engine.
+
+Historically the fuzzer's only stopping notion was an iteration count,
+checked as ``self.executions >= config.iterations`` scattered across five
+methods.  :class:`Budget` replaces all of them: it combines the three
+configurable limits — iterations (full-sequence executions), transactions,
+and wall-clock seconds — and every engine stage asks the one object the one
+question that matters (:meth:`exhausted`).
+
+Consumption counters are part of the serialized campaign state, so an
+interrupted campaign resumes with exactly the budget it had left.  Wall
+clock is accounted as ``prior_wall`` (closed sessions, from checkpoints)
+plus the live session's elapsed time; iteration- and transaction-budgeted
+campaigns are byte-deterministic under interrupt/resume, while wall-clock
+stopping points naturally vary with the machine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Budget:
+    """Combined iteration / transaction / wall-clock campaign budget."""
+
+    #: limits; None = unlimited on that axis (at least one must be set)
+    max_iterations: int | None = None
+    max_transactions: int | None = None
+    max_wall_clock: float | None = None
+
+    #: consumption
+    iterations_used: int = 0
+    transactions_used: int = 0
+    #: wall-clock seconds consumed by earlier (checkpointed) sessions
+    prior_wall: float = 0.0
+
+    _session_start: float | None = field(default=None, init=False,
+                                         repr=False, compare=False)
+
+    @classmethod
+    def from_config(cls, config) -> "Budget":
+        """Build the campaign budget from a
+        :class:`~repro.core.config.FuzzerConfig`."""
+        budget = cls(
+            max_iterations=config.iterations,
+            max_transactions=getattr(config, "tx_budget", None),
+            max_wall_clock=getattr(config, "time_budget", None),
+        )
+        if (budget.max_iterations is None
+                and budget.max_transactions is None
+                and budget.max_wall_clock is None):
+            raise ValueError(
+                "unbounded campaign: set at least one of iterations, "
+                "tx_budget, or time_budget")
+        return budget
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Anchor the wall clock for this session (idempotent)."""
+        if self._session_start is None:
+            self._session_start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Total campaign wall-clock seconds, across sessions."""
+        if self._session_start is None:
+            return self.prior_wall
+        return self.prior_wall + (time.perf_counter() - self._session_start)
+
+    # -- consumption ----------------------------------------------------------
+
+    def note_execution(self) -> None:
+        self.iterations_used += 1
+
+    def note_transaction(self, count: int = 1) -> None:
+        self.transactions_used += count
+
+    # -- the one question every stage asks ------------------------------------
+
+    def exhausted(self) -> bool:
+        if (self.max_iterations is not None
+                and self.iterations_used >= self.max_iterations):
+            return True
+        if (self.max_transactions is not None
+                and self.transactions_used >= self.max_transactions):
+            return True
+        if (self.max_wall_clock is not None
+                and self.elapsed() >= self.max_wall_clock):
+            return True
+        return False
+
+    def mask_probe_cap(self, fraction: float) -> int | None:
+        """Total mask-probe executions the campaign may spend (Algorithm 2
+        pays per-probe fuzz runs), as ``fraction`` of the budget.
+
+        A *nonzero* fraction always affords at least one mask — small
+        campaigns used to truncate ``int(iterations * fraction)`` to zero
+        and never compute any mask at all.  Returns None (uncapped) for
+        purely wall-clock-budgeted campaigns, where probe spend is already
+        bounded by time.
+
+        The cap counts probe *executions*, so a transaction budget is
+        converted through the campaign's own observed transactions-per-
+        execution ratio (a probe replays a full sequence) — otherwise
+        probing would consume ~sequence-length times the intended share.
+        Both counters are checkpointed state, so the conversion is
+        identical on resume.
+        """
+        if fraction <= 0:
+            return 0
+        if self.max_iterations is not None:
+            return max(1, int(self.max_iterations * fraction))
+        if self.max_transactions is not None:
+            per_execution = max(1, self.transactions_used
+                                // max(1, self.iterations_used))
+            return max(1, int(self.max_transactions * fraction
+                              / per_execution))
+        return None
+
+    # -- checkpoint serialization ----------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "iterations_used": self.iterations_used,
+            "transactions_used": self.transactions_used,
+            "prior_wall": self.elapsed(),
+        }
+
+    def restore_state(self, data: dict) -> None:
+        self.iterations_used = int(data.get("iterations_used", 0))
+        self.transactions_used = int(data.get("transactions_used", 0))
+        self.prior_wall = float(data.get("prior_wall", 0.0))
+        self._session_start = None

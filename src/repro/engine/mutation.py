@@ -1,0 +1,268 @@
+"""The mutation pipeline: explicit, weighted stages (§IV-A/§IV-B).
+
+One call to :meth:`MutationPipeline.mutate` produces one child from one
+parent seed by rolling through the stages in fixed order, each gated by its
+``weight`` (the probability the roll enters the stage):
+
+``fallback-insertion``
+    insert a fallback / unknown-selector transaction (dispatcher-edge
+    probing, how real fuzzers cover the dispatcher's failure edges);
+``sequence``
+    re-derive the transaction order through the strategy-specific
+    :class:`~repro.core.sequence.SequenceGenerator` (§IV-A);
+``dictionary``
+    resample one typed argument from the generator that knows the
+    contract's PUSH constants (sFuzz/ConFuzzius value dictionaries);
+``masked``
+    Algorithm 1's mask-guided byte mutation, for parents that hit a nested
+    branch or improved a branch distance — mask computation (Algorithm 2)
+    runs probe executions that consume campaign budget through the shared
+    :class:`~repro.engine.budget.Budget`;
+``afl``
+    the unconditioned AFL-style byte/word mutation every baseline shares.
+
+The stage weights are data, not buried literals; they reproduce the
+published mix exactly (the golden campaign fixture pins this byte-for-byte).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.masking import MutationMask, SeedMutator, compute_mask
+from repro.core.seeds import (
+    BAD_SELECTOR_CALL,
+    FALLBACK_CALL,
+    SPECIAL_CALLS,
+    Seed,
+)
+
+#: probability of resampling the mutated call's sender
+SENDER_RESAMPLE_WEIGHT = 0.15
+#: probability of resampling a payable call's value inside the dictionary stage
+PAYABLE_RESAMPLE_WEIGHT = 0.4
+
+
+class FallbackInsertionStage:
+    """Insert a fallback / bad-selector probing transaction."""
+
+    name = "fallback-insertion"
+
+    def __init__(self, rng: random.Random, weight: float,
+                 fresh_call) -> None:
+        self.rng = rng
+        self.weight = weight
+        self.fresh_call = fresh_call
+
+    def apply(self, child: Seed) -> Seed:
+        name = self.rng.choice((FALLBACK_CALL, BAD_SELECTOR_CALL))
+        pos = self.rng.randint(0, len(child.calls))
+        child.calls.insert(pos, self.fresh_call(name))
+        return child
+
+
+class SequenceStage:
+    """Mutate the transaction *order* via the sequence strategy (§IV-A)."""
+
+    name = "sequence"
+
+    def __init__(self, seqgen, weight: float, fresh_call) -> None:
+        self.seqgen = seqgen
+        self.weight = weight
+        self.fresh_call = fresh_call
+
+    def apply(self, child: Seed) -> Seed:
+        regular = [f for f in child.functions if f not in SPECIAL_CALLS]
+        functions = self.seqgen.mutate_sequence(regular)
+        existing = {c.function: c for c in child.calls}
+        child.calls = [
+            existing[name].clone() if name in existing
+            else self.fresh_call(name)
+            for name in functions]
+        return child
+
+
+class DictionaryStage:
+    """Resample one typed argument (and maybe the value) of one call."""
+
+    name = "dictionary"
+
+    def __init__(self, rng: random.Random, abi, inputs,
+                 weight: float) -> None:
+        self.rng = rng
+        self.abi = abi
+        self.inputs = inputs
+        self.weight = weight
+
+    def applies_to(self, call) -> bool:
+        return call.function not in SPECIAL_CALLS
+
+    def apply(self, child: Seed, index: int) -> Seed:
+        call = child.calls[index]
+        fn = self.abi.function(call.function)
+        if call.args:
+            arg_index = self.rng.randrange(len(call.args))
+            call.args[arg_index] = self.inputs.value_for_type(
+                fn.inputs[arg_index])
+        if fn.payable and self.rng.random() < PAYABLE_RESAMPLE_WEIGHT:
+            call.value = self.inputs.call_value_for(fn)
+        return child
+
+
+class MaskedStage:
+    """Mask-guided byte mutation (Algorithms 1–2) with budgeted probing.
+
+    Owns the per-(sequence, call) mask cache and the probe counter; both
+    are campaign state and serialize into checkpoints.  ``probe_runner``
+    is the campaign's execute→feedback→retain cycle — probe executions are
+    real executions and spend real budget, exactly like the paper's
+    Algorithm 2.
+    """
+
+    name = "masked"
+
+    def __init__(self, rng: random.Random, mutator: SeedMutator, budget,
+                 weight: float, budget_fraction: float,
+                 probe_limit: int, enabled: bool, probe_runner) -> None:
+        self.rng = rng
+        self.mutator = mutator
+        self.budget = budget
+        self.weight = weight
+        self.budget_fraction = budget_fraction
+        self.probe_limit = probe_limit
+        self.enabled = enabled
+        self.probe_runner = probe_runner
+        #: (tuple(functions), call_index) -> MutationMask
+        self.masks: dict = {}
+        self.probes_spent = 0
+
+    def applies_to(self, parent: Seed) -> bool:
+        return self.enabled and bool(parent.nested_hits
+                                     or parent.improved_distance)
+
+    def mask_for(self, seed: Seed, call_index: int) -> MutationMask | None:
+        """Compute (or reuse) the mask for one call of one seed
+        (Algorithm 2); None when the probe budget is spent (the caller
+        falls back to regular mutation)."""
+        key = (tuple(seed.functions), call_index)
+        cached = self.masks.get(key)
+        if cached is not None:
+            return cached
+        cap = self.budget.mask_probe_cap(self.budget_fraction)
+        if cap is not None and self.probes_spent >= cap:
+            return None
+
+        target_hits = set(seed.nested_hits)
+        baseline = dict(seed.distances)
+
+        def probe(stream: bytes) -> bool:
+            if self.budget.exhausted():
+                return True  # budget exhausted: stop restricting
+            self.probes_spent += 1
+            variant = seed.clone()
+            variant.calls[call_index] = \
+                variant.calls[call_index].apply_stream(stream)
+            variant = self.probe_runner(variant)
+            still_nested = bool(variant.nested_hits & target_hits)
+            improved = any(
+                variant.distances.get(k, 1 << 260) < baseline[k]
+                for k in baseline)
+            return still_nested or improved
+
+        call = seed.calls[call_index]
+        mask = compute_mask(call.to_stream(), probe, self.rng,
+                            probe_limit=self.probe_limit)
+        self.masks[key] = mask
+        return mask
+
+    def apply(self, child: Seed, index: int,
+              mask: MutationMask) -> Seed:
+        call = child.calls[index]
+        mutated = self.mutator.masked_mutate(call, mask)
+        if mutated is not None:
+            mutated.sender = call.sender
+            child.calls[index] = mutated
+        return child
+
+    # -- checkpoint serialization ----------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "probes_spent": self.probes_spent,
+            "masks": [[list(functions), call_index, mask.to_dict()]
+                      for (functions, call_index), mask
+                      in self.masks.items()],
+        }
+
+    def restore_state(self, data: dict) -> None:
+        self.probes_spent = int(data.get("probes_spent", 0))
+        self.masks = {
+            (tuple(functions), int(call_index)):
+                MutationMask.from_dict(mask_data)
+            for functions, call_index, mask_data in data.get("masks", ())}
+
+
+class AflStage:
+    """The fallthrough: one AFL-style mutation on one call."""
+
+    name = "afl"
+
+    def __init__(self, mutator: SeedMutator) -> None:
+        self.mutator = mutator
+
+    def apply(self, child: Seed, index: int) -> Seed:
+        call = child.calls[index]
+        child.calls[index] = self.mutator.afl_mutate(call)
+        child.calls[index].sender = call.sender
+        return child
+
+
+class MutationPipeline:
+    """One child per call: roll through the weighted stages in order."""
+
+    def __init__(self, rng: random.Random, config, abi, seqgen, inputs,
+                 mutator: SeedMutator, fresh_call, budget,
+                 probe_runner) -> None:
+        self.rng = rng
+        self.inputs = inputs
+        self.fallback = FallbackInsertionStage(
+            rng, config.fallback_probability, fresh_call)
+        self.sequence = SequenceStage(seqgen, 0.25, fresh_call)
+        self.dictionary = DictionaryStage(rng, abi, inputs, 0.3)
+        self.masked = MaskedStage(
+            rng, mutator, budget, weight=0.6,
+            budget_fraction=config.mask_budget_fraction,
+            probe_limit=config.mask_probe_limit,
+            enabled=config.use_mask, probe_runner=probe_runner)
+        self.afl = AflStage(mutator)
+
+    def mutate(self, parent: Seed) -> Seed:
+        child = parent.clone()
+        if self.rng.random() < self.fallback.weight:
+            return self.fallback.apply(child)
+        roll = self.rng.random()
+        if roll < self.sequence.weight and len(child.calls) >= 1:
+            return self.sequence.apply(child)
+        return self._mutate_call(parent, child)
+
+    def _mutate_call(self, parent: Seed, child: Seed) -> Seed:
+        if not child.calls:
+            return child
+        index = self.rng.randrange(len(child.calls))
+        call = child.calls[index]
+        if self.rng.random() < SENDER_RESAMPLE_WEIGHT:
+            call.sender = self.inputs.sender()
+
+        if (self.dictionary.applies_to(call)
+                and self.rng.random() < self.dictionary.weight):
+            return self.dictionary.apply(child, index)
+
+        # Algorithm 1 runs the masked stage for qualifying seeds *alongside*
+        # the regular mutation stage — mix rather than replace.
+        if (self.masked.applies_to(parent)
+                and self.rng.random() < self.masked.weight):
+            mask = self.masked.mask_for(parent, index)
+            if mask is not None:
+                return self.masked.apply(child, index, mask)
+
+        return self.afl.apply(child, index)

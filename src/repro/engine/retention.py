@@ -1,0 +1,48 @@
+"""Corpus retention: which executed seeds enter the queue.
+
+A child is retained when it covered a new edge, or when it exercises an
+edge fewer than :data:`RARE_EDGE_THRESHOLD` retained seeds cover — AFL's
+favored-input heuristic, which keeps rare-state seeds alive so later
+mutations can build on them while bounding the queue to O(edges).
+
+The per-edge retained-seed counts are derivable from the queue itself
+(each retained seed contributed its covered edges exactly once), so
+checkpoints do not serialize them: :meth:`rebuild` reconstructs the exact
+counters from a restored queue.
+"""
+
+from __future__ import annotations
+
+from repro.core.seeds import Seed, SeedQueue
+
+#: edges covered by fewer retained seeds than this are "rare"
+RARE_EDGE_THRESHOLD = 2
+
+
+class RetentionPolicy:
+    """Favored-edge corpus retention over the shared seed queue."""
+
+    def __init__(self, queue: SeedQueue) -> None:
+        self.queue = queue
+        #: how many queue seeds cover each edge
+        self.edge_seed_counts: dict = {}
+
+    def retain(self, seed: Seed, new_edges: int) -> bool:
+        """Add ``seed`` to the queue on new coverage or rare-edge use."""
+        rare = any(self.edge_seed_counts.get(edge, 0) < RARE_EDGE_THRESHOLD
+                   for edge in seed.covered_edges)
+        if not new_edges and not rare:
+            return False
+        self.queue.add(seed)
+        for edge in seed.covered_edges:
+            self.edge_seed_counts[edge] = \
+                self.edge_seed_counts.get(edge, 0) + 1
+        return True
+
+    def rebuild(self) -> None:
+        """Recompute the edge counters from the (restored) queue."""
+        self.edge_seed_counts = {}
+        for seed in self.queue.seeds:
+            for edge in seed.covered_edges:
+                self.edge_seed_counts[edge] = \
+                    self.edge_seed_counts.get(edge, 0) + 1

@@ -1,0 +1,105 @@
+"""Seed selection (Algorithm 1, lines 4–13): the engine's selection stage.
+
+Half the time (under ``use_distance_feedback``) selection targets an
+uncovered branch: pick one of the targets some seed has approached, then
+take the corpus seed with the smallest recorded distance to it (the queue
+maintains that index incrementally — see
+:meth:`repro.core.seeds.SeedQueue.best_for_target`).  Otherwise a uniform
+random corpus seed is chosen.
+
+The selector also owns the global best-distance table the targets come
+from.  The uncovered-target list is maintained *incrementally*: new targets
+append when first observed, and covered ones are pruned only when coverage
+actually grew — not rebuilt from the whole table every iteration, which was
+O(targets) per selection and dominated long campaigns.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.coverage import CoverageTracker
+from repro.core.seeds import Seed, SeedQueue
+
+
+class SeedSelector:
+    """Distance-feedback seed selection over the shared corpus queue."""
+
+    #: probability of attempting distance-targeted selection per iteration
+    TARGETED_WEIGHT = 0.5
+
+    def __init__(self, rng: random.Random, queue: SeedQueue,
+                 coverage: CoverageTracker, address: int,
+                 use_distance_feedback: bool) -> None:
+        self.rng = rng
+        self.queue = queue
+        self.coverage = coverage
+        self.address = address
+        self.use_distance_feedback = use_distance_feedback
+        #: target (addr, pc, taken) -> smallest distance any execution saw
+        self.global_best: dict = {}
+        #: insertion-ordered targets not yet covered (lazily pruned)
+        self._targets: list = []
+        #: coverage size at the last prune (prune only when it grew)
+        self._covered_seen = 0
+
+    # -- feedback: distance bookkeeping (runs for every executed seed) ---------
+
+    def observe(self, seed: Seed, distances: dict) -> None:
+        """Attach distance facts to ``seed`` and fold them into the global
+        table; sets ``seed.improved_distance`` (Algorithm 1's criterion for
+        mask-stage eligibility)."""
+        seed.distances = {}
+        seed.improved_distance = False
+        for key, dist in distances.items():
+            address, pc, taken = key
+            if address != self.address:
+                continue
+            if (pc, taken) in self.coverage.covered:
+                continue
+            seed.distances[key] = dist
+            best = self.global_best.get(key)
+            if best is None or dist < best:
+                if best is None:
+                    self._targets.append(key)
+                self.global_best[key] = dist
+                seed.improved_distance = True
+
+    # -- selection -------------------------------------------------------------
+
+    def select(self) -> int:
+        """Queue index of the next parent seed."""
+        if (self.use_distance_feedback
+                and self.rng.random() < self.TARGETED_WEIGHT):
+            targets = self.uncovered_targets()
+            if targets:
+                target = self.rng.choice(targets)
+                index = self.queue.index_for_target(target)
+                if index is not None:
+                    return index
+        return self.rng.randrange(len(self.queue.seeds))
+
+    def uncovered_targets(self) -> list:
+        """Targets still worth steering toward, in first-seen order."""
+        covered = self.coverage.covered
+        if len(covered) != self._covered_seen:
+            self._targets = [t for t in self._targets
+                             if (t[1], t[2]) not in covered]
+            self._covered_seen = len(covered)
+        return self._targets
+
+    # -- checkpoint serialization ----------------------------------------------
+
+    def state_dict(self) -> dict:
+        # insertion order of the table is load-bearing: it fixes the order
+        # targets are offered to rng.choice
+        return {"global_best": [[list(key), dist]
+                                for key, dist in self.global_best.items()]}
+
+    def restore_state(self, data: dict) -> None:
+        self.global_best = {(int(a), int(pc), bool(t)): int(dist)
+                            for (a, pc, t), dist
+                            in data.get("global_best", ())}
+        self._targets = [key for key in self.global_best
+                         if (key[1], key[2]) not in self.coverage.covered]
+        self._covered_seen = len(self.coverage.covered)

@@ -95,6 +95,19 @@ class Oracle:
     def finalize(self, ctx: OracleContext):
         return ()
 
+    # -- checkpoint serialization (campaign interrupt/resume) -----------------
+
+    def state_dict(self) -> dict:
+        """Whole-campaign state this oracle carries between receipts.
+
+        Stateless oracles (the default) return ``{}``; stateful ones
+        (e.g. ether freezing) override both hooks so a resumed campaign
+        observes exactly what the uninterrupted one would."""
+        return {}
+
+    def restore_state(self, data: dict) -> None:
+        pass
+
 
 @dataclass
 class FindingCollector:
@@ -129,3 +142,13 @@ class FindingCollector:
 
     def classes(self) -> set:
         return {f.bug_class for f in self.findings.values()}
+
+    # -- checkpoint serialization ---------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {"findings": [f.to_dict() for f in self.findings.values()]}
+
+    def restore_state(self, data: dict) -> None:
+        self.findings = {}
+        for item in data.get("findings", ()):
+            self.add(Finding.from_dict(item))

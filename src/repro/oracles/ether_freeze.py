@@ -30,6 +30,12 @@ class EtherFreezeOracle(Oracle):
             self._received = True
         return ()
 
+    def state_dict(self) -> dict:
+        return {"received": self._received}
+
+    def restore_state(self, data: dict) -> None:
+        self._received = bool(data.get("received", False))
+
     def finalize(self, ctx: OracleContext):
         if not self._received:
             return

@@ -53,7 +53,9 @@ def backend_for(workers: int | None = None,
 def create_backend(name: str | None = None, *, workers: int | None = None,
                    job_timeout: float | None = None,
                    recycle_after: int | None = None,
-                   sweep_interval: float | None = None) -> ExecutionBackend:
+                   sweep_interval: float | None = None,
+                   checkpoint_every: int | None = None,
+                   checkpoint_dir=None) -> ExecutionBackend:
     """Instantiate a backend by name (``None`` = auto, see
     :func:`backend_for`)."""
     if name is None:
@@ -64,19 +66,25 @@ def create_backend(name: str | None = None, *, workers: int | None = None,
         raise ValueError(f"unknown execution backend {name!r}: expected "
                          f"one of {', '.join(sorted(BACKENDS))}") from None
     return cls(workers=workers, job_timeout=job_timeout,
-               recycle_after=recycle_after, sweep_interval=sweep_interval)
+               recycle_after=recycle_after, sweep_interval=sweep_interval,
+               checkpoint_every=checkpoint_every,
+               checkpoint_dir=checkpoint_dir)
 
 
 def run_jobs(jobs, workers: int | None = None,
              job_timeout: float | None = None, progress=None,
              backend: str | None = None, recycle_after: int | None = None,
-             sweep_interval: float | None = None) -> list:
+             sweep_interval: float | None = None,
+             checkpoint_every: int | None = None,
+             checkpoint_dir=None) -> list:
     """Execute every job; returns :class:`JobOutcome` per job, in job
     order (one-call convenience over :func:`create_backend`)."""
     engine = create_backend(backend, workers=workers,
                             job_timeout=job_timeout,
                             recycle_after=recycle_after,
-                            sweep_interval=sweep_interval)
+                            sweep_interval=sweep_interval,
+                            checkpoint_every=checkpoint_every,
+                            checkpoint_dir=checkpoint_dir)
     return engine.run(jobs, progress=progress)
 
 

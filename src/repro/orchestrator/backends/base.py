@@ -40,17 +40,40 @@ def resolve_workers(workers: int | None) -> int:
     return max(1, int(workers))
 
 
-def execute_job(job: CampaignJob) -> JobOutcome:
+def execute_job(job: CampaignJob, checkpoint_every: int | None = None,
+                checkpoint_path=None) -> JobOutcome:
     """Run one campaign to completion in this process.
 
     Compilation goes through the process-local compile cache, so a
     long-lived worker executing many jobs over the same contract compiles
-    it once."""
+    it once.
+
+    With ``checkpoint_every``/``checkpoint_path`` the campaign persists a
+    mid-flight checkpoint to ``checkpoint_path`` every N executions, and
+    — when a valid checkpoint (matching the job's fingerprint) is already
+    there — *resumes* from it instead of starting over.  The engine's
+    determinism guarantee makes the resumed result byte-identical, so
+    cached results and resumed results are interchangeable.  The
+    checkpoint is consumed on completion."""
+    from repro.orchestrator.store import CheckpointSession
+
     start = time.perf_counter()
     try:
         artifact = compile_cached(job.source, job.contract)
-        result = Fuzzer(artifact, job.build_config(),
-                        job.supported_set()).run()
+        fuzzer = None
+        session = None
+        if checkpoint_path is not None:
+            session = CheckpointSession(checkpoint_path, job.fingerprint(),
+                                        checkpoint_every)
+            checkpoint = session.load()
+            if checkpoint is not None:
+                fuzzer = Fuzzer.resume(checkpoint, artifact=artifact)
+        if fuzzer is None:
+            fuzzer = Fuzzer(artifact, job.build_config(),
+                            job.supported_set())
+        result = fuzzer.run(**(session.run_kwargs() if session else {}))
+        if session is not None:
+            session.complete()
         return JobOutcome(job=job, status="ok", result=result,
                           elapsed=time.perf_counter() - start)
     except Exception:
@@ -59,11 +82,14 @@ def execute_job(job: CampaignJob) -> JobOutcome:
                           elapsed=time.perf_counter() - start)
 
 
-def execute_with_cache_delta(job: CampaignJob) -> tuple:
+def execute_with_cache_delta(job: CampaignJob,
+                             checkpoint_every: int | None = None,
+                             checkpoint_path=None) -> tuple:
     """Execute one job and measure the compile-cache hit/miss delta it
     caused; every backend reports these deltas into its run stats."""
     before = compile_cache_stats()
-    outcome = execute_job(job)
+    outcome = execute_job(job, checkpoint_every=checkpoint_every,
+                          checkpoint_path=checkpoint_path)
     after = compile_cache_stats()
     return outcome, {"cache_hits": after["hits"] - before["hits"],
                      "cache_misses": after["misses"] - before["misses"]}
@@ -71,8 +97,17 @@ def execute_with_cache_delta(job: CampaignJob) -> tuple:
 
 def execute_to_wire(job_data: dict) -> dict:
     """Worker-side helper: execute a serialized job and build its wire
-    record, annotated with the compile-cache delta."""
-    outcome, delta = execute_with_cache_delta(CampaignJob.from_dict(job_data))
+    record, annotated with the compile-cache delta.
+
+    ``job_data`` may carry a ``_checkpoint`` transport envelope
+    (``{"every": N, "path": str}``) — scheduler-side state that is not
+    part of the job's identity (it never enters the fingerprint)."""
+    job_data = dict(job_data)
+    transport = job_data.pop("_checkpoint", None) or {}
+    outcome, delta = execute_with_cache_delta(
+        CampaignJob.from_dict(job_data),
+        checkpoint_every=transport.get("every"),
+        checkpoint_path=transport.get("path"))
     wire = outcome.to_wire()
     wire.update(delta)
     return wire
@@ -93,9 +128,18 @@ class ExecutionBackend:
     def __init__(self, workers: int | None = None,
                  job_timeout: float | None = None,
                  recycle_after: int | None = None,
-                 sweep_interval: float | None = None) -> None:
+                 sweep_interval: float | None = None,
+                 checkpoint_every: int | None = None,
+                 checkpoint_dir=None) -> None:
         self.workers = resolve_workers(workers)
         self.job_timeout = None if job_timeout is None else float(job_timeout)
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if checkpoint_every is not None and checkpoint_dir is None:
+            raise ValueError("checkpoint_every requires a checkpoint_dir "
+                             "(persist checkpoints somewhere resumable)")
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = checkpoint_dir
         if recycle_after is not None and (recycle_after < 0
                                           or recycle_after
                                           != int(recycle_after)):
@@ -137,6 +181,26 @@ class ExecutionBackend:
 
     def _run(self, jobs, progress) -> list:
         raise NotImplementedError
+
+    def checkpoint_transport(self, job: CampaignJob) -> dict | None:
+        """The checkpoint envelope for ``job`` (``{"every": N, "path":
+        str}``), or None when mid-campaign checkpointing is off."""
+        if not self.checkpoint_every or self.checkpoint_dir is None:
+            return None
+        from repro.orchestrator.store import CHECKPOINT_SUFFIX
+        path = os.path.join(str(self.checkpoint_dir),
+                            f"{job.job_id}{CHECKPOINT_SUFFIX}")
+        return {"every": int(self.checkpoint_every), "path": path}
+
+    def job_payload(self, job: CampaignJob) -> dict:
+        """The wire dict dispatched to a worker for ``job``: its
+        serialized form plus the checkpoint transport envelope when
+        mid-campaign checkpointing is configured."""
+        data = job.to_dict()
+        transport = self.checkpoint_transport(job)
+        if transport is not None:
+            data["_checkpoint"] = transport
+        return data
 
     def _absorb_cache_stats(self, wire: dict) -> None:
         self.stats["compile_cache_hits"] += int(wire.get("cache_hits") or 0)

@@ -19,11 +19,14 @@ class InlineBackend(ExecutionBackend):
     name = "inline"
 
     def __init__(self, workers=None, job_timeout=None, recycle_after=None,
-                 sweep_interval=None) -> None:
+                 sweep_interval=None, checkpoint_every=None,
+                 checkpoint_dir=None) -> None:
         # one logical worker regardless of the requested count
         super().__init__(workers=1, job_timeout=job_timeout,
                          recycle_after=recycle_after,
-                         sweep_interval=sweep_interval)
+                         sweep_interval=sweep_interval,
+                         checkpoint_every=checkpoint_every,
+                         checkpoint_dir=checkpoint_dir)
         if self.job_timeout is not None:
             raise ValueError(
                 "the inline backend cannot enforce a wall-clock job "
@@ -32,7 +35,10 @@ class InlineBackend(ExecutionBackend):
     def _run(self, jobs, progress) -> list:
         outcomes = []
         for job in jobs:
-            outcome, delta = execute_with_cache_delta(job)
+            transport = self.checkpoint_transport(job) or {}
+            outcome, delta = execute_with_cache_delta(
+                job, checkpoint_every=transport.get("every"),
+                checkpoint_path=transport.get("path"))
             self._absorb_cache_stats(delta)
             outcomes.append(outcome)
             if progress is not None:

@@ -161,7 +161,7 @@ class PoolBackend(ExecutionBackend):
                         job = pending.popleft()
                         worker.job_id = job.job_id
                         worker.started = time.monotonic()
-                        worker.dispatch.put(job.to_dict())
+                        worker.dispatch.put(self.job_payload(job))
 
                 core.drain(block_for=self.sweep_interval, handler=on_wire)
                 sweep()

@@ -47,7 +47,7 @@ class SpawnBackend(ExecutionBackend):
                     job = pending.popleft()
                     proc = core.ctx.Process(
                         target=_worker_main,
-                        args=(job.to_dict(), core.results_queue),
+                        args=(self.job_payload(job), core.results_queue),
                         daemon=True)
                     proc.start()
                     running[job.job_id] = (proc, time.monotonic())

@@ -64,7 +64,10 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
                workers: int | None = None, results_dir=None,
                job_timeout: float | None = None,
                progress=None, backend: str | None = None,
-               recycle_after: int | None = None) -> MatrixRun:
+               recycle_after: int | None = None,
+               checkpoint_every: int | None = None,
+               time_budget: float | None = None,
+               tx_budget: int | None = None) -> MatrixRun:
     """Run (or resume) a campaign matrix; see module docstring.
 
     ``results_dir=None`` keeps everything in memory (no persistence,
@@ -74,8 +77,30 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
     no-timeout debugging mode, otherwise the default pool).  Results are
     byte-identical across backends and worker counts.  ``recycle_after``
     retires each pool worker after that many jobs to bound memory growth.
+
+    ``time_budget``/``tx_budget`` are per-campaign budget specs folded
+    into every job's config (combined with the iteration budget by the
+    engine's single :class:`~repro.engine.budget.Budget` authority).
+    ``checkpoint_every=N`` (requires ``results_dir``) makes workers
+    persist a mid-campaign checkpoint every N executions; an interrupted
+    matrix then resumes *mid-campaign* from those checkpoints, with
+    byte-identical final results.
     """
     start = time.perf_counter()
+    if checkpoint_every is not None and results_dir is None:
+        raise ValueError("checkpoint_every requires results_dir "
+                         "(checkpoints persist next to the results)")
+    if time_budget is not None or tx_budget is not None:
+        overrides = dict(overrides or {})
+        for key, value in (("time_budget", time_budget),
+                           ("tx_budget", tx_budget)):
+            if value is None:
+                continue
+            if key in overrides:
+                raise ValueError(f"{key} given both directly and in "
+                                 f"overrides; pass it one way")
+            overrides[key] = float(value) if key == "time_budget" \
+                else int(value)
     jobs = build_matrix(contracts, presets, trials=trials,
                         base_seed=base_seed, overrides=overrides,
                         supported=supported)
@@ -87,12 +112,18 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
         outcome = store.load(job) if store is not None else None
         if outcome is not None:
             cached[job.job_id] = outcome
+            # a completed cell's leftover checkpoint (crash between result
+            # save and checkpoint cleanup) is stale — drop it
+            store.clear_checkpoint(job)
         else:
             pending.append(job)
 
     engine = create_backend(backend, workers=workers,
                             job_timeout=job_timeout,
-                            recycle_after=recycle_after)
+                            recycle_after=recycle_after,
+                            checkpoint_every=checkpoint_every,
+                            checkpoint_dir=(None if store is None
+                                            else store.root))
     fresh = {}
     if pending:
         def on_settle(outcome):

@@ -1,17 +1,27 @@
-"""Persistent, resumable JSON store for campaign results.
+"""Persistent, resumable JSON store for campaign results and checkpoints.
 
-One file per job under the results directory, named by ``job_id``.  Files
-are written in canonical form — sorted keys, fixed separators, trailing
-newline, and ``wall_time`` normalized to 0.0 — so two runs of the same
-matrix with the same seeds produce *byte-identical* artifacts no matter
-the worker count or scheduling order.  Wall-clock timing is environment
-noise; the scheduler reports it live but it never enters the store.
+One result file per job under the results directory, named by ``job_id``.
+Files are written in canonical form — sorted keys, fixed separators,
+trailing newline, and ``wall_time`` normalized to 0.0 — so two runs of the
+same matrix with the same seeds produce *byte-identical* artifacts no
+matter the worker count or scheduling order.  Wall-clock timing is
+environment noise; the scheduler reports it live but it never enters the
+store.
 
 Each record carries the job's content :meth:`fingerprint
 <repro.orchestrator.jobs.CampaignJob.fingerprint>`; a cached result is
 only reused when the fingerprint still matches, so editing a contract or
 a config re-runs exactly the affected cells.  Only ``ok`` outcomes are
 persisted — errors and timeouts are retried on the next run.
+
+The store also holds **mid-campaign checkpoints**
+(``<job_id>.checkpoint.json``): with ``run_matrix(checkpoint_every=N)``
+workers periodically persist their
+:class:`~repro.engine.checkpoint.CampaignCheckpoint`, so an interrupted
+matrix resumes *mid-campaign* — not merely at job granularity — and the
+resumed cells still settle byte-identical results (the engine's
+determinism guarantee).  A checkpoint is consumed (deleted) when its job
+completes, and ignored when its fingerprint no longer matches the job.
 """
 
 from __future__ import annotations
@@ -20,14 +30,97 @@ import json
 from pathlib import Path
 
 from repro.core.campaign import CampaignResult
+from repro.engine.checkpoint import CampaignCheckpoint, canonical_json
 from repro.orchestrator.jobs import CampaignJob, JobOutcome
+
+__all__ = ["ResultStore", "CheckpointSession", "canonical_json",
+           "write_checkpoint_file", "read_checkpoint_file",
+           "clear_checkpoint_file", "CHECKPOINT_SUFFIX"]
 
 SCHEMA_VERSION = 1
 
+#: suffix distinguishing checkpoint files from result records
+CHECKPOINT_SUFFIX = ".checkpoint.json"
 
-def canonical_json(record: dict) -> str:
-    return json.dumps(record, sort_keys=True, indent=2,
-                      separators=(",", ": ")) + "\n"
+
+def write_checkpoint_file(path, checkpoint: CampaignCheckpoint,
+                          fingerprint: str) -> None:
+    """Atomically persist one campaign checkpoint with its owner's
+    fingerprint (module-level: workers hold a path, not a store)."""
+    path = Path(path)
+    record = {
+        "schema": SCHEMA_VERSION,
+        "fingerprint": fingerprint,
+        "checkpoint": checkpoint.to_dict(),
+    }
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(canonical_json(record))
+    tmp.replace(path)
+
+
+def read_checkpoint_file(path, fingerprint: str) -> CampaignCheckpoint | None:
+    """Load a checkpoint; None when absent, mangled, or stale (fingerprint
+    mismatch — the job's source/config/seed changed since it was taken)."""
+    try:
+        record = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+    if (not isinstance(record, dict)
+            or record.get("schema") != SCHEMA_VERSION
+            or record.get("fingerprint") != fingerprint):
+        return None
+    try:
+        return CampaignCheckpoint.from_dict(record["checkpoint"])
+    except (KeyError, ValueError, TypeError, IndexError):
+        return None
+
+
+def clear_checkpoint_file(path) -> None:
+    Path(path).unlink(missing_ok=True)
+
+
+class CheckpointSession:
+    """The checkpoint lifecycle of one campaign run against one file:
+    read-by-fingerprint, sink wiring, consume-on-completion.
+
+    Shared by ``repro fuzz`` and the backend workers so the two paths
+    cannot drift.  The file is *owned* — and therefore consumed by
+    :meth:`complete` — only once this run resumed from a matching
+    checkpoint or actually wrote one; a mismatched checkpoint that was
+    merely probed belongs to some other campaign and is left alone.
+    """
+
+    def __init__(self, path, fingerprint: str,
+                 every: int | None = None) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        self.every = every
+        self._owned = False
+
+    def load(self) -> CampaignCheckpoint | None:
+        """The checkpoint to resume from, if a matching one is here."""
+        checkpoint = read_checkpoint_file(self.path, self.fingerprint)
+        if checkpoint is not None:
+            self._owned = True
+        return checkpoint
+
+    def run_kwargs(self) -> dict:
+        """Keyword arguments for :meth:`Fuzzer.run`: the periodic sink
+        when checkpointing is on, nothing otherwise."""
+        if not self.every:
+            return {}
+
+        def sink(checkpoint) -> None:
+            write_checkpoint_file(self.path, checkpoint, self.fingerprint)
+            self._owned = True
+
+        return {"checkpoint_every": int(self.every),
+                "checkpoint_sink": sink}
+
+    def complete(self) -> None:
+        """Consume the checkpoint after a completed campaign."""
+        if self._owned:
+            clear_checkpoint_file(self.path)
 
 
 class ResultStore:
@@ -83,4 +176,28 @@ class ResultStore:
         return path
 
     def completed_ids(self) -> set:
-        return {path.stem for path in self.root.glob("*.json")}
+        return {path.stem for path in self.root.glob("*.json")
+                if not path.name.endswith(CHECKPOINT_SUFFIX)}
+
+    # -- mid-campaign checkpoints ----------------------------------------------
+
+    def checkpoint_path_for(self, job: CampaignJob) -> Path:
+        return self.root / f"{job.job_id}{CHECKPOINT_SUFFIX}"
+
+    def save_checkpoint(self, job: CampaignJob,
+                        checkpoint: CampaignCheckpoint) -> Path:
+        path = self.checkpoint_path_for(job)
+        write_checkpoint_file(path, checkpoint, job.fingerprint())
+        return path
+
+    def load_checkpoint(self, job: CampaignJob) -> CampaignCheckpoint | None:
+        return read_checkpoint_file(self.checkpoint_path_for(job),
+                                    job.fingerprint())
+
+    def clear_checkpoint(self, job: CampaignJob) -> None:
+        clear_checkpoint_file(self.checkpoint_path_for(job))
+
+    def checkpoint_ids(self) -> set:
+        """Job ids with a pending mid-campaign checkpoint."""
+        return {path.name[:-len(CHECKPOINT_SUFFIX)]
+                for path in self.root.glob(f"*{CHECKPOINT_SUFFIX}")}

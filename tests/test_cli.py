@@ -129,3 +129,256 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["bogus"])
+
+
+def strip_wall_time(fuzz_output: str) -> str:
+    """The fuzz summary line minus its wall-clock suffix (timing is
+    environment noise; everything else must be deterministic)."""
+    import re
+    return re.sub(r", \d+\.\d+s$", "", fuzz_output.strip().splitlines()[0])
+
+
+class TestBudgetFlags:
+    def test_fuzz_tx_budget_stops_open_ended_campaign(self, capsys,
+                                                      crowdsale_file):
+        # no --iterations: the transaction budget alone governs the run
+        out = run_cli(capsys, "fuzz", crowdsale_file,
+                      "--tx-budget", "150", "--seed", "3")
+        assert "branch coverage" in out
+        transactions = int(out.split(" transactions")[0].rsplit(", ", 1)[1])
+        assert transactions >= 150
+
+    def test_fuzz_time_budget_stops_open_ended_campaign(self, capsys,
+                                                        crowdsale_file):
+        out = run_cli(capsys, "fuzz", crowdsale_file,
+                      "--time-budget", "0.3", "--seed", "3")
+        assert "branch coverage" in out
+
+    def test_fuzz_budgets_combine_with_iterations(self, capsys,
+                                                  crowdsale_file):
+        # generous time budget alongside a tiny iteration budget: the
+        # iteration budget wins, result identical to --iterations alone
+        plain = run_cli(capsys, "fuzz", crowdsale_file,
+                        "--iterations", "20", "--seed", "3")
+        combined = run_cli(capsys, "fuzz", crowdsale_file,
+                           "--iterations", "20", "--seed", "3",
+                           "--time-budget", "3600")
+        assert strip_wall_time(plain) == strip_wall_time(combined)
+
+    def test_campaign_time_budget(self, capsys, crowdsale_file):
+        out = run_cli(capsys, "campaign", crowdsale_file,
+                      "--fuzzers", "mufuzz", "--trials", "1",
+                      "--time-budget", "0.3", "--workers", "1",
+                      "--backend", "inline")
+        assert "mean branch coverage per fuzzer" in out
+
+    def test_campaign_checkpoint_every_requires_results_dir(self,
+                                                            crowdsale_file):
+        assert main(["campaign", crowdsale_file, "--fuzzers", "mufuzz",
+                     "--trials", "1", "--iterations", "10",
+                     "--checkpoint-every", "5"]) == 2
+
+    def test_campaign_rejects_non_positive_checkpoint_every(
+            self, tmp_path, crowdsale_file):
+        assert main(["campaign", crowdsale_file, "--fuzzers", "mufuzz",
+                     "--trials", "1", "--iterations", "10",
+                     "--results-dir", str(tmp_path / "r"),
+                     "--checkpoint-every", "0"]) == 2
+
+
+class TestCheckpointFlags:
+    def test_fuzz_checkpoint_consumed_on_completion(self, capsys, tmp_path,
+                                                    crowdsale_file):
+        """A completed campaign leaves no checkpoint behind, and emitting
+        checkpoints does not perturb the result (pure observation)."""
+        checkpoint = tmp_path / "fuzz.checkpoint.json"
+        plain = run_cli(capsys, "fuzz", crowdsale_file,
+                        "--iterations", "30", "--seed", "3")
+        checked = run_cli(capsys, "fuzz", crowdsale_file,
+                          "--iterations", "30", "--seed", "3",
+                          "--checkpoint-every", "5",
+                          "--checkpoint-file", str(checkpoint))
+        assert strip_wall_time(plain) == strip_wall_time(checked)
+        assert not checkpoint.exists()
+
+    def test_fuzz_resume_without_checkpoint_starts_fresh(self, capsys,
+                                                         tmp_path,
+                                                         crowdsale_file):
+        checkpoint = tmp_path / "none.checkpoint.json"
+        out = run_cli(capsys, "fuzz", crowdsale_file,
+                      "--iterations", "20", "--seed", "3", "--resume",
+                      "--checkpoint-file", str(checkpoint))
+        assert "no matching checkpoint" in out
+        assert "branch coverage" in out
+
+    def test_fuzz_rejects_non_positive_checkpoint_every(self, capsys,
+                                                        crowdsale_file):
+        assert main(["fuzz", crowdsale_file, "--iterations", "10",
+                     "--checkpoint-every", "0",
+                     "--checkpoint-file", "x.json"]) == 2
+        assert "must be >= 1" in capsys.readouterr().out
+
+    def test_fuzz_rejects_checkpoint_file_alone(self, capsys, tmp_path,
+                                                crowdsale_file):
+        """--checkpoint-file without --checkpoint-every/--resume would be
+        a silent no-op; refuse it instead of losing the user's progress."""
+        assert main(["fuzz", crowdsale_file, "--iterations", "10",
+                     "--checkpoint-file",
+                     str(tmp_path / "cp.json")]) == 2
+        assert "does nothing on its own" in capsys.readouterr().out
+
+    def test_fuzz_checkpoint_not_shared_across_contracts(self, capsys,
+                                                         tmp_path):
+        """One source file, two contracts: a checkpoint taken for one
+        must not be resumed into a campaign for the other (the
+        fingerprint covers the contract name)."""
+        from tests.conftest import GAME_SOURCE
+        multi = tmp_path / "multi.sol"
+        multi.write_text(CROWDSALE_SOURCE + GAME_SOURCE)
+        checkpoint = tmp_path / "multi.checkpoint.json"
+        # leave a mid-campaign checkpoint behind for Crowdsale
+        from repro.compiler import compile_source
+        from repro.core import Fuzzer, mufuzz_config
+        from repro.engine.checkpoint import checkpoint_fingerprint
+        from repro.orchestrator.store import write_checkpoint_file
+        config = mufuzz_config(iterations=300, rng_seed=1)
+        artifact = compile_source(multi.read_text(), "Crowdsale")
+        fuzzer = Fuzzer(artifact, config)
+        captured = []
+        fuzzer.run(checkpoint_every=250, checkpoint_sink=captured.append)
+        write_checkpoint_file(
+            checkpoint, captured[0],
+            checkpoint_fingerprint(artifact.source, "Crowdsale", config))
+        out = run_cli(capsys, "fuzz", str(multi), "--contract", "Game",
+                      "--iterations", "300", "--seed", "1", "--resume",
+                      "--checkpoint-file", str(checkpoint))
+        assert "no matching checkpoint" in out
+        # the mismatched run must not consume the other campaign's
+        # checkpoint: its rightful owner can still resume from it
+        assert checkpoint.exists()
+        out = run_cli(capsys, "fuzz", str(multi), "--contract",
+                      "Crowdsale", "--iterations", "300", "--seed", "1",
+                      "--resume", "--checkpoint-file", str(checkpoint))
+        assert "resumed from" in out
+        assert not checkpoint.exists()
+
+    def test_fuzz_stale_checkpoint_ignored(self, capsys, tmp_path,
+                                           crowdsale_file):
+        """A checkpoint from a different config must not be resumed."""
+        checkpoint = tmp_path / "stale.checkpoint.json"
+        checkpoint.write_text('{"schema": 1, "fingerprint": "deadbeef", '
+                              '"checkpoint": {}}\n')
+        out = run_cli(capsys, "fuzz", crowdsale_file,
+                      "--iterations", "20", "--seed", "3", "--resume",
+                      "--checkpoint-file", str(checkpoint))
+        assert "no matching checkpoint" in out
+
+    def test_fuzz_never_clobbers_a_foreign_checkpoint(self, capsys,
+                                                      tmp_path,
+                                                      crowdsale_file):
+        """Checkpointing onto a file that holds another campaign's state
+        is refused outright — neither the sink nor consume-on-completion
+        may destroy someone else's resumable state."""
+        checkpoint = tmp_path / "foreign.checkpoint.json"
+        foreign = ('{"schema": 1, "fingerprint": "deadbeef", '
+                   '"checkpoint": {}}\n')
+        checkpoint.write_text(foreign)
+        assert main(["fuzz", crowdsale_file,
+                     "--iterations", "20", "--seed", "3", "--resume",
+                     "--checkpoint-every", "5",
+                     "--checkpoint-file", str(checkpoint)]) == 2
+        assert "refusing to overwrite" in capsys.readouterr().out
+        assert checkpoint.read_text() == foreign
+        # read-only --resume against the same file still runs fresh and
+        # leaves it untouched
+        out = run_cli(capsys, "fuzz", crowdsale_file,
+                      "--iterations", "20", "--seed", "3", "--resume",
+                      "--checkpoint-file", str(checkpoint))
+        assert "no matching checkpoint" in out
+        assert checkpoint.read_text() == foreign
+
+
+class TestKillAndResume:
+    """True interrupt/resume: SIGKILL a running CLI process mid-campaign,
+    resume from its persisted checkpoints, and compare byte-for-byte
+    against an uninterrupted run."""
+
+    @staticmethod
+    def _spawn(*argv, cwd):
+        import os
+        import subprocess
+        import sys
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        return subprocess.Popen([sys.executable, "-m", "repro", *argv],
+                                cwd=cwd, env=env,
+                                stdout=subprocess.DEVNULL,
+                                stderr=subprocess.DEVNULL)
+
+    @staticmethod
+    def _kill_once_checkpointed(proc, probe, timeout=60.0):
+        """Wait until ``probe()`` reports a persisted checkpoint, then
+        SIGKILL the process; returns False if it finished first."""
+        import time
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if probe():
+                proc.kill()
+                proc.wait()
+                return True
+            if proc.poll() is not None:
+                return False
+            time.sleep(0.01)
+        proc.kill()
+        proc.wait()
+        raise AssertionError("no checkpoint appeared within the timeout")
+
+    def test_fuzz_kill_and_resume_byte_identical(self, capsys, tmp_path,
+                                                 crowdsale_file):
+        checkpoint = tmp_path / "fuzz.checkpoint.json"
+        budget = ("--iterations", "400", "--seed", "3")
+        baseline = run_cli(capsys, "fuzz", crowdsale_file, *budget)
+
+        proc = self._spawn("fuzz", crowdsale_file, *budget,
+                           "--checkpoint-every", "5",
+                           "--checkpoint-file", str(checkpoint),
+                           cwd=str(tmp_path))
+        interrupted = self._kill_once_checkpointed(proc, checkpoint.exists)
+        assert interrupted, "campaign finished before it could be killed"
+        assert checkpoint.exists()
+
+        resumed = run_cli(capsys, "fuzz", crowdsale_file, *budget,
+                          "--resume", "--checkpoint-file", str(checkpoint))
+        assert "resumed from" in resumed
+        assert strip_wall_time(baseline) == \
+            strip_wall_time(resumed.splitlines()[1])
+        assert not checkpoint.exists()  # consumed on completion
+
+    def test_campaign_kill_and_resume_mid_campaign(self, capsys, tmp_path,
+                                                   crowdsale_file):
+        """An interrupted matrix resumes *mid-campaign* from per-job
+        checkpoints, settling results byte-identical to an uninterrupted
+        matrix."""
+        ref_dir = tmp_path / "reference"
+        hot_dir = tmp_path / "interrupted"
+        argv = ("campaign", crowdsale_file, "--fuzzers", "mufuzz", "sfuzz",
+                "--trials", "3", "--iterations", "120", "--workers", "1",
+                "--backend", "inline", "--seed", "3")
+        run_cli(capsys, *argv, "--results-dir", str(ref_dir))
+
+        hot_argv = argv + ("--results-dir", str(hot_dir),
+                           "--checkpoint-every", "5")
+        proc = self._spawn(*hot_argv, cwd=str(tmp_path))
+        interrupted = self._kill_once_checkpointed(
+            proc, lambda: any(hot_dir.glob("*.checkpoint.json")))
+        assert interrupted, "matrix finished before it could be killed"
+        assert any(hot_dir.glob("*.checkpoint.json"))
+
+        resumed = run_cli(capsys, *hot_argv)
+        assert "executed" in resumed
+        assert not any(hot_dir.glob("*.checkpoint.json"))  # all consumed
+
+        ref = {p.name: p.read_bytes() for p in ref_dir.glob("*.json")}
+        hot = {p.name: p.read_bytes() for p in hot_dir.glob("*.json")}
+        assert ref and hot == ref

@@ -67,6 +67,63 @@ def test_backend_matches_golden_fixture(backend):
          f"(see module docstring)")
 
 
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_interrupted_matrix_resumes_to_golden_fixture(backend, tmp_path):
+    """Interrupt/resume determinism against the golden fixture, swept
+    across every execution backend.
+
+    Every golden cell is interrupted at an arbitrary mid-campaign
+    iteration: the campaign runs inline with a checkpoint sink that aborts
+    after its second emission (the engine's crash model), and the captured
+    checkpoint is persisted into the results directory exactly as a killed
+    worker would have left it.  The full matrix then runs on ``backend`` —
+    each worker must *resume* the half-finished campaigns from those
+    checkpoints — and the settled results must still match the golden
+    fixture byte for byte."""
+    from repro.compiler.cache import compile_cached
+    from repro.core.fuzzer import Fuzzer
+    from repro.orchestrator.jobs import build_matrix
+    from repro.orchestrator.store import ResultStore
+
+    jobs = build_matrix(_golden_contracts(), PRESETS, trials=1,
+                        overrides=dict(OVERRIDES))
+    store = ResultStore(tmp_path / "results")
+
+    class Interrupt(Exception):
+        pass
+
+    for job in jobs:
+        captured = []
+
+        def sink(checkpoint):
+            captured.append(checkpoint)
+            if len(captured) == 2:
+                raise Interrupt
+
+        fuzzer = Fuzzer(compile_cached(job.source, job.contract),
+                        job.build_config(), job.supported_set())
+        try:
+            fuzzer.run(checkpoint_every=7, checkpoint_sink=sink)
+        except Interrupt:
+            pass
+        assert captured, f"{job.job_id}: campaign emitted no checkpoint"
+        store.save_checkpoint(job, captured[-1])
+
+    assert store.checkpoint_ids() == {job.job_id for job in jobs}
+
+    run = run_matrix(_golden_contracts(), presets=PRESETS, trials=1,
+                     overrides=dict(OVERRIDES), workers=WORKERS,
+                     backend=backend, results_dir=store.root,
+                     checkpoint_every=7)
+    assert not run.errors and not run.timeouts, (backend, run.errors)
+    assert not store.checkpoint_ids()  # consumed on completion
+    record = {o.job.job_id: {**o.result.to_dict(), "wall_time": 0.0}
+              for o in run.outcomes}
+    assert canonical_json(record) == GOLDEN_PATH.read_text(), \
+        (f"{backend} backend resumed-from-checkpoint results diverged "
+         f"from the golden campaign fixture")
+
+
 if __name__ == "__main__":
     if os.environ.get("REPRO_REGEN_GOLDEN") != "1":
         raise SystemExit("set REPRO_REGEN_GOLDEN=1 to rewrite the fixture")

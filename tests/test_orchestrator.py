@@ -155,6 +155,23 @@ class TestRunMatrix:
                   {**o.result.to_dict(), "wall_time": 0.0}))
              for o in first.outcomes]
 
+    def test_budget_specs_fold_into_every_job(self):
+        """run_matrix's budget parameters reach each campaign's config
+        and govern it through the engine's single Budget authority."""
+        run = run_matrix([("Crowdsale", CROWDSALE_SOURCE)],
+                         presets=("mufuzz",),
+                         overrides={"iterations": None, "rng_seed": 5},
+                         tx_budget=120, workers=1)
+        (result,) = (o.result for o in run.outcomes)
+        assert result.transactions >= 120
+
+    def test_budget_spec_conflicts_with_override(self):
+        with pytest.raises(ValueError, match="tx_budget"):
+            run_matrix([("Crowdsale", CROWDSALE_SOURCE)],
+                       presets=("mufuzz",),
+                       overrides={"iterations": None, "tx_budget": 5},
+                       tx_budget=120, workers=1)
+
     def test_one_broken_contract_does_not_kill_the_matrix(self):
         run = run_matrix(
             [("Crowdsale", CROWDSALE_SOURCE), ("Broken", BROKEN_SOURCE)],

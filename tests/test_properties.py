@@ -116,6 +116,39 @@ class TestAbiProperties:
         assert decoded.args == words
         assert decoded.value == value
 
+    @given(words=st.lists(u256, max_size=6), value=u256, sender=u256,
+           delta=st.integers(min_value=-64, max_value=64))
+    @settings(max_examples=80, deadline=None)
+    def test_txcall_stream_roundtrip_grown_and_shrunk(self, words, value,
+                                                      sender, delta):
+        """INSERT/DELETE mutations resize the stream; applying any resized
+        stream must restore the call's exact word count (shrunk streams
+        zero-pad on the right, grown streams truncate), and must never
+        touch the function name or sender."""
+        call = TxCall(function="f", args=words, value=value, sender=sender)
+        stream = call.to_stream()
+        resized = (stream[:len(stream) + delta] if delta < 0
+                   else stream + b"\xa5" * delta)
+        decoded = call.apply_stream(resized)
+        assert len(decoded.args) == len(words)
+        assert decoded.function == call.function
+        assert decoded.sender == call.sender
+        # re-encoding yields exactly the resized stream normalized back
+        # to the canonical width (pad/truncate is idempotent)
+        canonical = (resized[:len(stream)]
+                     + b"\x00" * max(0, len(stream) - len(resized)))
+        assert decoded.to_stream() == canonical
+
+    @given(words=st.lists(u256, max_size=6), value=u256, sender=u256)
+    @settings(max_examples=60, deadline=None)
+    def test_txcall_dict_roundtrip_through_json(self, words, value, sender):
+        """Checkpoint serialization: to_dict/from_dict is exact through a
+        JSON wire hop."""
+        import json as _json
+        call = TxCall(function="g", args=words, value=value, sender=sender)
+        restored = TxCall.from_dict(_json.loads(_json.dumps(call.to_dict())))
+        assert restored == call
+
 
 class TestStorageLayoutProperties:
     @given(n=st.integers(min_value=1, max_value=20),
