@@ -1,0 +1,153 @@
+"""Oracle-overhead microbench: what detection costs per transaction.
+
+The streaming oracle bus derives the machine's event-materialization mask
+from the subscribed oracles, so restricting a campaign's bug classes
+should *reduce* per-transaction cost — unsubscribed event kinds are never
+allocated, and events are dispatched once to their subscribers instead of
+every oracle re-scanning every receipt.  This bench pins that claim to a
+number on the d2 corpus, with three oracle configurations over the same
+fixed-sequence replay workload (interpreter + state reset + detection):
+
+* ``all``    — all nine oracles (the default campaign),
+* ``single`` — one oracle (integer overflow), the restricted-campaign case,
+* ``none``   — no oracles (coverage-only; the detection-free floor).
+
+Results land in ``BENCH_evm.json`` under ``oracle_overhead`` so the
+subscription-filtering win rides in the same perf-trajectory artifact as
+the interpreter numbers.  Run directly
+(``python benchmarks/bench_oracle_overhead.py [--smoke]``) or via pytest;
+``REPRO_BENCH_EVM_SMOKE=1`` shrinks the workload for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.core.config import mufuzz_config
+from repro.core.fuzzer import Fuzzer
+from repro.corpus import generate_d2
+
+EVM_BENCH_PATH = Path(__file__).parent.parent / "BENCH_evm.json"
+
+N_CONTRACTS = 6
+N_CONTRACTS_SMOKE = 2
+REPLAY_ITERS = 120
+REPLAY_ITERS_SMOKE = 25
+#: repetitions per variant; wall clock is best-of so a scheduler blip on
+#: a loaded (CI) machine cannot flip the overhead comparison
+REPETITIONS = 3
+
+#: oracle selections benched (config.bug_classes values)
+VARIANTS = {
+    "all": None,
+    "single": ("IO",),
+    "none": (),
+}
+
+
+def _smoke() -> bool:
+    return (os.environ.get("REPRO_BENCH_EVM_SMOKE") == "1"
+            or "--smoke" in sys.argv)
+
+
+def _bench_contracts(count: int) -> list:
+    corpus = generate_d2()
+    stride = max(1, len(corpus) // count)
+    return [corpus[i * stride] for i in range(count)]
+
+
+def _replay_cost(contracts, iters: int, bug_classes) -> dict:
+    """Fixed-sequence replay with one oracle selection; per-tx cost.
+
+    Best-of-``REPETITIONS`` wall clock: each repetition rebuilds the
+    fuzzers and replays the same deterministic workload, and the fastest
+    repetition is reported — step/transaction/finding counts are
+    identical across repetitions by construction."""
+    best = None
+    for _ in range(REPETITIONS):
+        transactions = 0
+        steps = 0
+        findings = 0
+        elapsed = 0.0
+        for contract in contracts:
+            fuzzer = Fuzzer(contract.artifact,
+                            mufuzz_config(iterations=iters, rng_seed=7,
+                                          bug_classes=bug_classes))
+            seed = fuzzer._fresh_seed()
+            start = time.perf_counter()
+            for _ in range(iters):
+                trace = fuzzer._execute(seed)
+                steps += trace.steps
+            elapsed += time.perf_counter() - start
+            transactions += fuzzer.transactions
+            findings += len(fuzzer.collector.findings)
+        if best is None or elapsed < best[0]:
+            best = (elapsed, transactions, steps, findings)
+    elapsed, transactions, steps, findings = best
+    return {
+        "transactions": transactions,
+        "steps": steps,
+        "findings": findings,
+        "wall_clock_s": round(elapsed, 3),
+        "us_per_tx": (round(elapsed / transactions * 1e6, 2)
+                      if transactions else None),
+    }
+
+
+def run_oracle_overhead_bench(smoke: bool | None = None) -> dict:
+    """Bench every oracle selection; persist under ``oracle_overhead``."""
+    if smoke is None:
+        smoke = _smoke()
+    contracts = _bench_contracts(
+        N_CONTRACTS_SMOKE if smoke else N_CONTRACTS)
+    iters = REPLAY_ITERS_SMOKE if smoke else REPLAY_ITERS
+    entry: dict = {"smoke": smoke,
+                   "contracts": [c.name for c in contracts]}
+    for label, bug_classes in VARIANTS.items():
+        entry[label] = _replay_cost(contracts, iters, bug_classes)
+
+    base = entry["all"]["us_per_tx"]
+    if base:
+        entry["speedup_vs_all"] = {
+            label: round(base / entry[label]["us_per_tx"], 2)
+            for label in ("single", "none")
+            if entry[label]["us_per_tx"]
+        }
+
+    try:
+        data = json.loads(EVM_BENCH_PATH.read_text())
+    except (OSError, ValueError):
+        data = {}
+    data["oracle_overhead"] = entry
+    EVM_BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True)
+                              + "\n")
+    return entry
+
+
+def test_oracle_overhead(report):
+    """Pytest entry point: run the bench and report per-tx costs."""
+    entry = run_oracle_overhead_bench()
+    lines = ["oracle overhead per transaction (d2 replay workload)"]
+    for label in VARIANTS:
+        cost = entry[label]
+        lines.append(
+            f"  {label:<7} {cost['us_per_tx']:>8} us/tx "
+            f"({cost['transactions']} txs, {cost['findings']} finding "
+            f"keys, {cost['wall_clock_s']}s)")
+    if "speedup_vs_all" in entry:
+        lines.append(f"  speedup vs all: {entry['speedup_vs_all']}")
+    report("oracle_overhead", "\n".join(lines))
+    # detection must never be free-floating overhead: the restricted and
+    # oracle-free configurations may not be slower than running all nine
+    # (best-of-N wall clock; 10% headroom for shared-runner jitter)
+    assert entry["single"]["us_per_tx"] <= entry["all"]["us_per_tx"] * 1.10
+    assert entry["none"]["us_per_tx"] <= entry["all"]["us_per_tx"] * 1.10
+
+
+if __name__ == "__main__":
+    result = run_oracle_overhead_bench()
+    print(json.dumps(result, indent=2))

@@ -81,11 +81,15 @@ class ReentrantAgent(Agent):
         # Record the callback in the trace: this is the reentrant call the
         # RE oracle looks for (an on-chain attacker contract's CALL opcode
         # would be recorded by the machine; the agent stands in for it).
-        from repro.evm.trace import CallEvent
-        machine.trace.calls.append(CallEvent(
-            pc=0, address=self.address, depth=depth, kind="call",
-            target=msg.caller, value=0, gas=inner.gas, reentrant=True,
-            index=len(machine.trace.calls)))
+        if machine.rec_call:
+            from repro.evm.trace import CallEvent
+            event = CallEvent(
+                pc=0, address=self.address, depth=depth, kind="call",
+                target=msg.caller, value=0, gas=inner.gas, reentrant=True,
+                index=len(machine.trace.calls))
+            machine.trace.calls.append(event)
+            for deliver in machine.sub_call:
+                deliver(event, machine.oracle_ctx)
         result = machine._call(inner, depth + 1)
         # The fallback itself succeeds even if the reentrant call reverted —
         # a real attacker contract would swallow the failure.

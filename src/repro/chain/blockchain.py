@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.chain.state import WorldState
 from repro.chain.transactions import Transaction, TransactionReceipt
 from repro.evm.machine import Machine, Message
+from repro.evm.trace import EV_ALL
 
 #: Base address for deployed contracts; user/agent accounts live below this.
 CONTRACT_ADDRESS_BASE = 0xC0000000
@@ -52,10 +53,18 @@ class Chain:
     """
 
     def __init__(self, world: WorldState | None = None,
-                 max_steps: int = 200_000) -> None:
+                 max_steps: int = 200_000,
+                 event_mask: int = EV_ALL, oracle_bus=None) -> None:
         self.world = world if world is not None else WorldState()
         self.block = BlockContext()
         self.max_steps = max_steps
+        #: trace-event kinds transactions materialize (EV_* bitmask); the
+        #: fuzzer narrows this to what its feedback loop + oracles consume
+        self.event_mask = event_mask
+        #: optional streaming :class:`~repro.oracles.bus.OracleBus`
+        #: attached to every transaction machine (never to deployments:
+        #: oracles observe transactions, not constructor runs)
+        self.oracle_bus = oracle_bus
         self._next_contract = CONTRACT_ADDRESS_BASE
         self.receipts: list[TransactionReceipt] = []
         #: set by :meth:`mark_base`; while active, the world journal is
@@ -111,7 +120,8 @@ class Chain:
         """Execute one transaction in its own block and return the receipt."""
         if not self.world.exists(tx.sender):
             self.create_account(tx.sender)
-        machine = Machine(self.world, self.block, self.max_steps)
+        machine = Machine(self.world, self.block, self.max_steps,
+                          event_mask=self.event_mask, bus=self.oracle_bus)
         msg = Message(
             address=tx.to, caller=tx.sender, origin=tx.sender,
             value=tx.value, data=tx.data, gas=tx.gas,
@@ -129,7 +139,9 @@ class Chain:
 
     def fork(self) -> "Chain":
         """Deep-copy the chain (point-in-time snapshot, no base mark)."""
-        clone = Chain(self.world.fork(), self.max_steps)
+        clone = Chain(self.world.fork(), self.max_steps,
+                      event_mask=self.event_mask,
+                      oracle_bus=self.oracle_bus)
         clone.block = BlockContext(
             number=self.block.number, timestamp=self.block.timestamp,
             coinbase=self.block.coinbase, difficulty=self.block.difficulty,

@@ -4,6 +4,7 @@ Commands
 --------
 ``fuzz FILE``      run a fuzzing campaign on a MiniSol source file
 ``campaign``       run a contract × fuzzer × trial matrix across workers
+``replay PATH``    re-trigger persisted findings from their witnesses
 ``compile FILE``   compile and print bytecode size, ABI, storage layout
 ``disasm FILE``    disassemble the runtime bytecode
 ``analyze FILE``   print the sequence-aware data-flow analysis (§IV-A)
@@ -58,6 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--resume", action="store_true",
                       help="resume from the checkpoint file if present "
                            "(byte-identical to an uninterrupted run)")
+    fuzz.add_argument("--oracles", default=None, metavar="CLASSES",
+                      help="restrict the campaign to these bug classes "
+                           "(comma-separated codes, e.g. RE,IO; 'all' = "
+                           "all nine, 'none' = coverage only). The "
+                           "machine skips materializing trace events no "
+                           "selected oracle subscribes to")
 
     camp = sub.add_parser(
         "campaign",
@@ -119,6 +126,19 @@ def build_parser() -> argparse.ArgumentParser:
                       help="pool backend: retire and respawn each worker "
                            "after K jobs to bound per-process memory "
                            "growth")
+    camp.add_argument("--oracles", default=None, metavar="CLASSES",
+                      help="restrict every campaign to these bug classes "
+                           "(comma-separated codes, e.g. RE,IO; 'all' = "
+                           "all nine, 'none' = coverage only)")
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-execute persisted findings from their stored witnesses "
+             "(deterministic re-trigger check)")
+    replay.add_argument("paths", nargs="+", metavar="PATH",
+                        help="result-store record files (*.json) or "
+                             "results directories produced by 'repro "
+                             "campaign --results-dir'")
 
     for name, help_text in (
             ("compile", "compile and show artifact summary"),
@@ -168,6 +188,48 @@ def _budget_overrides(args, default_iterations: int) -> dict:
     return overrides
 
 
+def _parse_oracles(text: str | None):
+    """``--oracles`` value → a ``bug_classes`` tuple (None = all nine).
+
+    Accepts comma- or space-separated class codes, case-insensitive, plus
+    the keywords ``all`` (no restriction) and ``none`` (coverage-only
+    campaign, no oracles).  Raises ``ValueError`` on unknown codes.
+    """
+    from repro.core.config import normalize_bug_classes
+
+    if text is None:
+        return None
+    token = text.strip().lower()
+    if token == "all":
+        return None
+    if token == "none":
+        return ()
+    codes = [code.strip().upper()
+             for code in text.replace(",", " ").split() if code.strip()]
+    if not codes:
+        raise ValueError(
+            "no bug-class codes given (use 'all', 'none', or codes "
+            "like RE,IO)")
+    return normalize_bug_classes(codes)
+
+
+def _findings_table(findings) -> str:
+    """The findings report: most severe first, with triage metadata and
+    witness length."""
+    from repro.oracles.base import SEVERITIES
+
+    ordered = sorted(findings,
+                     key=lambda f: (SEVERITIES.index(f.severity),
+                                    f.bug_class.value, f.pc))
+    rows = [[f.bug_class.value, f.severity, f"{f.confidence:.2f}",
+             f.line, len(f.witness), f.description]
+            for f in ordered]
+    return format_table(
+        ["class", "severity", "conf", "line", "witness txs",
+         "description"],
+        rows, title="findings")
+
+
 def cmd_fuzz(args) -> int:
     from repro.orchestrator.store import CheckpointSession
 
@@ -183,6 +245,13 @@ def cmd_fuzz(args) -> int:
 
     artifact = _load(args)
     overrides = _budget_overrides(args, default_iterations=300)
+    try:
+        bug_classes = _parse_oracles(args.oracles)
+    except ValueError as exc:
+        print(f"error: --oracles: {exc}")
+        return 2
+    if bug_classes is not None:
+        overrides["bug_classes"] = bug_classes
     config = PRESET_CONFIGS[args.fuzzer](rng_seed=args.seed, **overrides)
 
     session = None
@@ -226,10 +295,7 @@ def cmd_fuzz(args) -> int:
           f"{result.transactions} transactions, "
           f"{result.wall_time:.2f}s")
     if result.findings:
-        rows = [[f.bug_class.value, f.line, f.description]
-                for f in result.findings]
-        print(format_table(["class", "line", "description"], rows,
-                           title="findings"))
+        print(_findings_table(result.findings))
     else:
         print("no findings")
     return 0
@@ -280,6 +346,11 @@ def cmd_campaign(args) -> int:
         run_matrix,
     )
 
+    try:
+        oracles = _parse_oracles(args.oracles)
+    except ValueError as exc:
+        print(f"error: --oracles: {exc}")
+        return 2
     contracts = _campaign_contracts(args)
     workers = resolve_workers(args.workers)
     if args.backend is None and args.recycle_after:
@@ -335,7 +406,7 @@ def cmd_campaign(args) -> int:
         workers=workers, results_dir=args.results_dir,
         job_timeout=args.job_timeout, progress=progress,
         backend=backend, recycle_after=args.recycle_after,
-        checkpoint_every=args.checkpoint_every)
+        checkpoint_every=args.checkpoint_every, oracles=oracles)
 
     if run.results_dir is not None:
         print(f"results dir: {run.results_dir} "
@@ -370,6 +441,73 @@ def cmd_campaign(args) -> int:
     # nonzero whenever any cell failed, so scripts/CI never mistake a
     # partially-failed campaign for a clean one
     return 0 if summaries and not failures else 1
+
+
+def _replay_records(paths) -> list:
+    """(path, record) pairs from record files and results directories."""
+    import json
+    from repro.orchestrator.store import CHECKPOINT_SUFFIX
+    from pathlib import Path
+
+    records = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files = sorted(p for p in path.glob("*.json")
+                           if not p.name.endswith(CHECKPOINT_SUFFIX))
+        else:
+            files = [path]
+        for file in files:
+            try:
+                record = json.loads(file.read_text())
+            except (OSError, ValueError) as exc:
+                raise ValueError(f"{file}: not a readable JSON record "
+                                 f"({exc})") from None
+            if not isinstance(record, dict) or "result" not in record:
+                raise ValueError(f"{file}: not a campaign result record")
+            if "source" not in record:
+                raise ValueError(
+                    f"{file}: record predates the witness schema (no "
+                    f"embedded source); re-run the campaign to refresh it")
+            records.append((file, record))
+    return records
+
+
+def cmd_replay(args) -> int:
+    from repro.core.replay import replay_record
+
+    try:
+        records = _replay_records(args.paths)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    if not records:
+        print("no result records found")
+        return 2
+
+    rows = []
+    failed = 0
+    total = 0
+    for path, record in records:
+        job_id = record.get("job_id", path.stem)
+        outcomes = replay_record(record)
+        if not outcomes:
+            rows.append([job_id, "-", "-", "-", "no findings"])
+            continue
+        for outcome in outcomes:
+            finding = outcome.finding
+            total += 1
+            if not outcome.ok:
+                failed += 1
+            rows.append([job_id, finding.bug_class.value,
+                         finding.pc, len(finding.witness),
+                         outcome.status])
+    print(format_table(
+        ["job", "class", "pc", "witness txs", "status"], rows,
+        title="witness replay"))
+    print(f"\n{total - failed}/{total} findings re-triggered"
+          if total else "\nno findings to replay")
+    return 0 if failed == 0 else 1
 
 
 def cmd_compile(args) -> int:
@@ -458,6 +596,7 @@ def cmd_corpus(args) -> int:
 _COMMANDS = {
     "fuzz": cmd_fuzz,
     "campaign": cmd_campaign,
+    "replay": cmd_replay,
     "compile": cmd_compile,
     "disasm": cmd_disasm,
     "analyze": cmd_analyze,

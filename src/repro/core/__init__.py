@@ -25,6 +25,12 @@ from repro.core.energy import EnergyScheduler
 from repro.core.coverage import CoverageTracker
 from repro.core.campaign import CampaignResult
 from repro.core.fuzzer import Fuzzer, fuzz_contract
+from repro.core.replay import (
+    ReplayOutcome,
+    replay_finding,
+    replay_findings,
+    replay_record,
+)
 
 __all__ = [
     "FuzzerConfig",
@@ -46,5 +52,9 @@ __all__ = [
     "CoverageTracker",
     "CampaignResult",
     "Fuzzer",
+    "ReplayOutcome",
     "fuzz_contract",
+    "replay_finding",
+    "replay_findings",
+    "replay_record",
 ]

@@ -31,6 +31,12 @@ class FuzzerConfig:
     authority every engine stage consults.  ``iterations`` may be ``None``
     for open-ended time- or transaction-budgeted campaigns, but at least
     one of the three limits must be set.
+
+    ``bug_classes`` restricts which oracles the campaign runs (``None`` =
+    all nine; an empty tuple = coverage-only, no oracles).  The streaming
+    oracle bus derives its event-subscription mask from this, so a
+    restricted campaign also skips materializing the trace events only the
+    excluded oracles would have consumed.
     """
 
     name: str = "MuFuzz"
@@ -47,6 +53,11 @@ class FuzzerConfig:
     use_mask: bool = True
     use_distance_feedback: bool = True
     energy_strategy: str = ENERGY_DYNAMIC
+
+    #: oracle selection: None = all nine bug classes; otherwise a sorted
+    #: tuple of BugClass values ("RE", "IO", ...) — normalized by
+    #: __post_init__ so configs round-trip canonically through JSON
+    bug_classes: tuple | None = None
 
     # sequence shape
     max_sequence_length: int = 8
@@ -80,9 +91,25 @@ class FuzzerConfig:
     # modeled as an execution-step multiplier in the coverage curves.
     reexecution_overhead: float = 1.0
 
+    def __post_init__(self) -> None:
+        self.bug_classes = normalize_bug_classes(self.bug_classes)
+
     def variant(self, **overrides) -> "FuzzerConfig":
         """A copy with some knobs replaced (used by the ablation bench)."""
         return replace(self, **overrides)
+
+
+def normalize_bug_classes(value) -> tuple | None:
+    """Canonical oracle-selection form: None, or a sorted, deduplicated
+    tuple of :class:`~repro.oracles.base.BugClass` *values* (plain strings,
+    so configs serialize to JSON unchanged).  Accepts any iterable of
+    BugClass members or their string codes; raises ``ValueError`` on an
+    unknown code."""
+    if value is None:
+        return None
+    from repro.oracles.base import BugClass
+    return tuple(sorted({BugClass(getattr(bc, "value", bc)).value
+                         for bc in value}))
 
 
 def mufuzz_config(**overrides) -> FuzzerConfig:

@@ -62,8 +62,9 @@ from repro.engine.checkpoint import CampaignCheckpoint, CampaignState
 from repro.engine.mutation import MutationPipeline
 from repro.engine.retention import RetentionPolicy
 from repro.engine.selection import SeedSelector
-from repro.evm.trace import ExecutionTrace
+from repro.evm.trace import EV_BRANCH, ExecutionTrace
 from repro.oracles.base import BugClass, FindingCollector, OracleContext
+from repro.oracles.bus import OracleBus
 from repro.oracles.registry import all_oracles
 
 #: fixed account addresses used by every campaign
@@ -98,7 +99,7 @@ class Fuzzer:
             strategy=self.config.energy_strategy, prefix=self.prefix,
             base_energy=self.config.base_energy,
             max_energy=self.config.max_energy)
-        self.oracles = all_oracles(supported_bug_classes)
+        self.oracles = all_oracles(self._effective_bug_classes())
         self.collector = FindingCollector()
 
         self.queue = SeedQueue()
@@ -118,8 +119,30 @@ class Fuzzer:
         self.ctx = OracleContext(
             artifact=artifact, address=self.address, deployer=DEPLOYER,
             attacker_addresses=frozenset({ATTACKER, REJECTOR}))
+        #: the streaming oracle bus: oracles receive the trace events they
+        #: subscribe to while each transaction executes, and the machine
+        #: materializes only the event kinds someone consumes — the
+        #: feedback loop needs branches, everything else is oracle-driven
+        self.bus = OracleBus(self.oracles, self.ctx, self.collector)
+        self.base_chain.event_mask = EV_BRANCH | self.bus.mask
+        self.base_chain.oracle_bus = self.bus
         #: loop position; populated by :meth:`run` or :meth:`resume`
         self._state: CampaignState | None = None
+
+    def _effective_bug_classes(self):
+        """Intersection of the config's ``bug_classes`` selection and the
+        ``supported_bug_classes`` capability set (None = unrestricted)."""
+        selected = self.config.bug_classes
+        supported = self.supported_bug_classes
+        if selected is None and supported is None:
+            return None
+        if selected is None:
+            return set(supported)
+        chosen = {BugClass(value) for value in selected}
+        if supported is None:
+            return chosen
+        return chosen & {BugClass(getattr(bc, "value", bc))
+                         for bc in supported}
 
     # -- budget-backed counters (historical attribute names) ---------------------
 
@@ -223,6 +246,9 @@ class Fuzzer:
             chain = self.base_chain.reset_to_base()
             merged = ExecutionTrace()
 
+        # skipped state-cache prefixes still belong in witnesses: they set
+        # up the state the suffix's findings depend on
+        self.bus.begin_sequence(seed.calls, start_at)
         for index in range(start_at, len(seed.calls)):
             call = seed.calls[index]
             data = self._encode_call(call)
@@ -231,11 +257,12 @@ class Fuzzer:
             tx = Transaction(
                 sender=call.sender, to=self.address, value=call.value,
                 data=data, gas=self.config.tx_gas, function=call.function)
+            # subscribed oracles stream the trace events of this
+            # transaction while it executes; settle their findings now
             receipt = chain.apply(tx)
             self.budget.note_transaction()
             merged.merge(receipt.trace)
-            for oracle in self.oracles:
-                self.collector.extend(oracle.on_receipt(receipt, self.ctx))
+            self.collector.extend(self.bus.end_transaction(receipt))
             if self.state_cache is not None:
                 self.state_cache.insert(seed.calls, index + 1, chain, merged)
         self.budget.note_execution()
@@ -349,8 +376,7 @@ class Fuzzer:
             if state.energy <= 0:
                 state.current_index = None
 
-        for oracle in self.oracles:
-            self.collector.extend(oracle.finalize(self.ctx))
+        self.collector.extend(self.bus.finalize())
 
         last_seed = self.queue.seeds[-1] if len(self.queue) else None
         return CampaignResult(
@@ -366,6 +392,30 @@ class Fuzzer:
             transactions=self.transactions,
             example_sequence=last_seed.functions if last_seed else [],
         )
+
+    # -- witness replay ----------------------------------------------------------
+
+    def replay(self, finding) -> bool:
+        """Re-execute a finding's stored witness against the deployed state.
+
+        The fuzzer's construction is deterministic in ``config.rng_seed``
+        (constructor arguments, account set, deployment balance), and every
+        campaign iteration starts from the journal-reset base state — so a
+        fresh fuzzer built from the campaign's config reproduces exactly
+        the state each witness originally ran against.  Returns True when
+        the witness re-triggers the finding's dedup key.
+
+        Use a fresh :class:`Fuzzer` per finding: the collector accumulates,
+        so replaying several findings on one instance could credit a
+        witness with a finding an earlier replay already produced.
+        """
+        calls = [TxCall.from_dict(call) for call in finding.witness]
+        if not calls:
+            return False
+        self._execute(Seed(calls=calls))
+        # whole-campaign oracles (ether freezing) settle in finalize
+        self.collector.extend(self.bus.finalize())
+        return finding.key in self.collector.findings
 
     def _maybe_checkpoint(self, every: int | None, sink) -> None:
         if every is None:

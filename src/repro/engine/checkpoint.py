@@ -23,7 +23,15 @@ import json
 
 from repro.core.seeds import Seed
 
-SCHEMA_VERSION = 1
+#: Schema history —
+#: 1: initial complete-campaign-state format.
+#: 2: streaming-oracle-bus era: findings carry severity/confidence/witness
+#:    (collector state), per-oracle state may embed witness buffers (ether
+#:    freeze stores the sequence that first delivered ether), and the
+#:    config gained ``bug_classes`` (per-oracle campaign restriction).
+#:    v1 checkpoints are refused rather than silently resumed without
+#:    witness state.
+SCHEMA_VERSION = 2
 
 
 def canonical_json(record: dict) -> str:

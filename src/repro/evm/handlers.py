@@ -88,10 +88,13 @@ def _make_wrapping_arith(name: str, compute):
         sy = shadows.pop()
         raw = compute(x, y)
         result = raw % WORD
-        if raw != result:
-            m.trace.overflows.append(OverflowEvent(
+        if raw != result and m.rec_overflow:
+            event = OverflowEvent(
                 pc=pc, address=frame.msg.address, depth=depth,
-                op_name=name, lhs=x, rhs=y, result=result))
+                op_name=name, lhs=x, rhs=y, result=result)
+            m.trace.overflows.append(event)
+            for deliver in m.sub_overflow:
+                deliver(event, m.oracle_ctx)
         values.append(result)
         shadows.append(_shadow(merge_taints(sx, sy)))
 
@@ -183,9 +186,13 @@ def _make_comparison(name: str):
         sy = shadows.pop()
         taints = merge_taints(sx, sy)
         shadow = comparison_shadow(name, x, y, taints)
-        m.trace.compares.append(CompareEvent(
-            pc=pc, address=frame.msg.address, depth=depth,
-            op_name=name, lhs=x, rhs=y, taints=taints))
+        if m.rec_compare:
+            event = CompareEvent(
+                pc=pc, address=frame.msg.address, depth=depth,
+                op_name=name, lhs=x, rhs=y, taints=taints)
+            m.trace.compares.append(event)
+            for deliver in m.sub_compare:
+                deliver(event, m.oracle_ctx)
         if taints and Taint.CALLER in taints:
             frame.caller_checked = True
         values.append(1 if shadow.dist_true == 0 else 0)
@@ -359,16 +366,25 @@ def _make_blockstate(name: str, read):
     """TIMESTAMP / NUMBER / COINBASE / DIFFICULTY / GASLIMIT."""
 
     def handler(m, pc, frame, depth, gas):
-        m.trace.block_reads.append(BlockStateEvent(
-            pc=pc, address=frame.msg.address, depth=depth, op_name=name))
+        if m.rec_block:
+            event = BlockStateEvent(
+                pc=pc, address=frame.msg.address, depth=depth, op_name=name)
+            m.trace.block_reads.append(event)
+            for deliver in m.sub_block:
+                deliver(event, m.oracle_ctx)
         frame.stack.push(read(m), BLOCK_SHADOW)
 
     return handler
 
 
 def _op_blockhash(m, pc, frame, depth, gas):
-    m.trace.block_reads.append(BlockStateEvent(
-        pc=pc, address=frame.msg.address, depth=depth, op_name="BLOCKHASH"))
+    if m.rec_block:
+        event = BlockStateEvent(
+            pc=pc, address=frame.msg.address, depth=depth,
+            op_name="BLOCKHASH")
+        m.trace.block_reads.append(event)
+        for deliver in m.sub_block:
+            deliver(event, m.oracle_ctx)
     height = frame.stack.pop_value()
     value = keccak(height.to_bytes(32, "big")) if height else 0
     frame.stack.push(value, BLOCK_SHADOW)
@@ -435,9 +451,13 @@ def _op_sload(m, pc, frame, depth, gas):
     shadows.pop()
     addr = frame.msg.address
     value, shadow = m.world.get_storage(addr, slot)
-    m.trace.storage_ops.append(StorageEvent(
-        pc=pc, address=addr, depth=depth, kind="read",
-        slot=slot, value=value))
+    if m.rec_storage:
+        event = StorageEvent(
+            pc=pc, address=addr, depth=depth, kind="read",
+            slot=slot, value=value)
+        m.trace.storage_ops.append(event)
+        for deliver in m.sub_storage:
+            deliver(event, m.oracle_ctx)
     values.append(value)
     shadows.append(shadow)
 
@@ -460,10 +480,14 @@ def _op_sstore(m, pc, frame, depth, gas):
     else:
         stored = Shadow(shadow.taints)
     m.world.set_storage(addr, slot, value, stored)
-    m.trace.storage_ops.append(StorageEvent(
-        pc=pc, address=addr, depth=depth, kind="write",
-        slot=slot, value=value,
-        after_external_call=frame.made_external_call))
+    if m.rec_storage:
+        event = StorageEvent(
+            pc=pc, address=addr, depth=depth, kind="write",
+            slot=slot, value=value,
+            after_external_call=frame.made_external_call)
+        m.trace.storage_ops.append(event)
+        for deliver in m.sub_storage:
+            deliver(event, m.oracle_ctx)
 
 
 def _op_pc(m, pc, frame, depth, gas):
@@ -512,10 +536,14 @@ def _op_selfdestruct(m, pc, frame, depth, gas):
     msg = frame.msg
     addr = msg.address
     beneficiary = frame.stack.pop_value()
-    m.trace.selfdestructs.append(SelfDestructEvent(
-        pc=pc, address=addr, depth=depth,
-        beneficiary=beneficiary, caller=msg.caller, origin=msg.origin,
-        guarded_by_caller_check=frame.caller_checked))
+    if m.rec_selfdestruct:
+        event = SelfDestructEvent(
+            pc=pc, address=addr, depth=depth,
+            beneficiary=beneficiary, caller=msg.caller, origin=msg.origin,
+            guarded_by_caller_check=frame.caller_checked)
+        m.trace.selfdestructs.append(event)
+        for deliver in m.sub_selfdestruct:
+            deliver(event, m.oracle_ctx)
     balance = m.world.get_balance(addr)
     if balance:
         m.world.transfer(addr, beneficiary, balance)

@@ -45,8 +45,18 @@ from repro.evm.memory import Memory
 from repro.evm.stack import STACK_LIMIT, Stack
 from repro.evm.trace import (
     EMPTY_SHADOW,
+    EV_ALL,
+    EV_BLOCK,
+    EV_BRANCH,
+    EV_CALL,
+    EV_COMPARE,
+    EV_ETHER,
+    EV_OVERFLOW,
+    EV_SELFDESTRUCT,
+    EV_STORAGE,
     BranchEvent,
     CallEvent,
+    EtherEvent,
     ExecutionTrace,
     Shadow,
     call_result_tag,
@@ -112,9 +122,23 @@ class Machine:
     max_steps:
         Hard per-transaction instruction budget, protecting fuzzing campaigns
         from runaway loops independent of gas.
+    event_mask:
+        ``EV_*`` bitmask selecting which trace-event kinds are materialized
+        at all.  The default records everything (library behaviour);
+        fuzzing campaigns pass the union of what the feedback loop and the
+        subscribed oracles actually consume, so unneeded kinds cost one
+        boolean check per opcode instead of an allocation plus an append.
+    bus:
+        Optional :class:`~repro.oracles.bus.OracleBus`.  When present, its
+        subscription mask is OR-ed into ``event_mask`` and every recorded
+        event of a subscribed kind is dispatched to the subscribed oracles
+        *while the transaction executes*; subcall-revert rollback is
+        forwarded to the oracles' transactional buffers in lockstep with
+        the trace's own rollback.
     """
 
-    def __init__(self, world, block, max_steps: int = 200_000) -> None:
+    def __init__(self, world, block, max_steps: int = 200_000,
+                 event_mask: int = EV_ALL, bus=None) -> None:
         self.world = world
         self.block = block
         self.max_steps = max_steps
@@ -122,6 +146,30 @@ class Machine:
         self._steps = 0
         self._executed = False
         self._active_addresses: list[int] = []
+        self.bus = bus
+        # machines are built once per transaction: the dispatch tables come
+        # prebuilt from the bus, and the rec_* gates are plain ints (bit
+        # test results) — cheap to set up, truthy to check
+        if bus is not None:
+            event_mask |= bus.mask  # subscribed kinds always materialize
+            (self.sub_branch, self.sub_compare, self.sub_call,
+             self.sub_overflow, self.sub_storage, self.sub_selfdestruct,
+             self.sub_block, self.sub_ether) = bus.dispatch_tables
+            self.oracle_ctx = bus.ctx
+        else:
+            self.sub_branch = self.sub_compare = self.sub_call = \
+                self.sub_overflow = self.sub_storage = \
+                self.sub_selfdestruct = self.sub_block = self.sub_ether = ()
+            self.oracle_ctx = None
+        self.event_mask = event_mask
+        self.rec_branch = event_mask & EV_BRANCH
+        self.rec_compare = event_mask & EV_COMPARE
+        self.rec_call = event_mask & EV_CALL
+        self.rec_overflow = event_mask & EV_OVERFLOW
+        self.rec_storage = event_mask & EV_STORAGE
+        self.rec_selfdestruct = event_mask & EV_SELFDESTRUCT
+        self.rec_block = event_mask & EV_BLOCK
+        self.rec_ether = event_mask & EV_ETHER
 
     # -- public API ---------------------------------------------------------
 
@@ -131,6 +179,8 @@ class Machine:
         if self._executed:  # machines are usually single-use: reuse the
             self.trace = ExecutionTrace()  # __init__ trace on first execute
         self._executed = True
+        if self.bus is not None:
+            self.bus.begin_transaction()
         snapshot = self.world.snapshot()
         result = self._call(msg, depth=0)
         if not result.success:
@@ -152,9 +202,15 @@ class Machine:
                 self.world.transfer(msg.caller, msg.address, msg.value)
             except InsufficientBalance as exc:
                 return ExecutionResult(False, error=str(exc))
-            self.trace.ether_received[msg.address] = (
-                self.trace.ether_received.get(msg.address, 0) + msg.value
-            )
+            if self.rec_ether:
+                self.trace.ether_received[msg.address] = (
+                    self.trace.ether_received.get(msg.address, 0) + msg.value
+                )
+                if self.sub_ether:
+                    event = EtherEvent(pc=0, address=msg.address,
+                                       depth=depth, amount=msg.value)
+                    for deliver in self.sub_ether:
+                        deliver(event, self.oracle_ctx)
         agent = self.world.get_agent(msg.address)
         if agent is not None and not msg.is_delegate:
             return agent.on_call(self, msg, depth)
@@ -306,18 +362,24 @@ class Machine:
 
         call_gas = min(call_gas, max(gas - gas // 64, 0))
         data = frame.memory.read(args_off, args_size)
-        reentrant = target in self._active_addresses
-        event = CallEvent(
-            pc=pc, address=msg.address, depth=depth, kind="call",
-            target=target, value=value, gas=call_gas, reentrant=reentrant,
-            target_taints=target_shadow.taints,
-            value_taints=value_shadow.taints,
-            guarded=frame.caller_checked, index=len(self.trace.calls))
-        self.trace.calls.append(event)
+        event = None
+        if self.rec_call:
+            event = CallEvent(
+                pc=pc, address=msg.address, depth=depth, kind="call",
+                target=target, value=value, gas=call_gas,
+                reentrant=target in self._active_addresses,
+                target_taints=target_shadow.taints,
+                value_taints=value_shadow.taints,
+                guarded=frame.caller_checked, index=len(self.trace.calls))
+            self.trace.calls.append(event)
+            for deliver in self.sub_call:
+                deliver(event, self.oracle_ctx)
         frame.made_external_call = True
 
         snapshot = self.world.snapshot()
         trace_mark = self.trace.subcall_mark()
+        bus = self.bus
+        bus_mark = bus.subcall_mark() if bus is not None else None
         inner = Message(
             address=target, caller=msg.address, origin=msg.origin,
             value=value, data=data, gas=call_gas,
@@ -328,12 +390,21 @@ class Machine:
         else:
             self.world.revert_to(snapshot)
             self.trace.rollback_subcall(trace_mark)
-            event.callee_error = result.error
-        event.success = result.success
+            if bus is not None:
+                bus.rollback_subcall(bus_mark)
+            if event is not None:
+                event.callee_error = result.error
         if ret_size and result.returndata:
             frame.memory.write(ret_off, result.returndata[:ret_size])
-        stack.push(1 if result.success else 0,
-                   Shadow(frozenset({call_result_tag(event.index)})))
+        if event is not None:
+            event.success = result.success
+            # the success flag is tainted with the call's index so a later
+            # JUMPI can mark the call *checked* — only meaningful while
+            # call events are recorded at all
+            stack.push(1 if result.success else 0,
+                       Shadow(frozenset({call_result_tag(event.index)})))
+        else:
+            stack.push(1 if result.success else 0)
         return gas - (call_gas - result.gas_left)
 
     def _op_delegatecall(self, pc: int, frame: CallContext, depth: int,
@@ -349,16 +420,22 @@ class Machine:
 
         call_gas = min(call_gas, max(gas - gas // 64, 0))
         data = frame.memory.read(args_off, args_size)
-        event = CallEvent(
-            pc=pc, address=msg.address, depth=depth, kind="delegatecall",
-            target=target, value=0, gas=call_gas,
-            target_taints=target_shadow.taints,
-            guarded=frame.caller_checked, index=len(self.trace.calls))
-        self.trace.calls.append(event)
+        event = None
+        if self.rec_call:
+            event = CallEvent(
+                pc=pc, address=msg.address, depth=depth,
+                kind="delegatecall", target=target, value=0, gas=call_gas,
+                target_taints=target_shadow.taints,
+                guarded=frame.caller_checked, index=len(self.trace.calls))
+            self.trace.calls.append(event)
+            for deliver in self.sub_call:
+                deliver(event, self.oracle_ctx)
         frame.made_external_call = True
 
         snapshot = self.world.snapshot()
         trace_mark = self.trace.subcall_mark()
+        bus = self.bus
+        bus_mark = bus.subcall_mark() if bus is not None else None
         inner = Message(
             address=msg.address, caller=msg.caller, origin=msg.origin,
             value=msg.value, data=data, gas=call_gas,
@@ -369,18 +446,26 @@ class Machine:
         else:
             self.world.revert_to(snapshot)
             self.trace.rollback_subcall(trace_mark)
-            event.callee_error = result.error
-        event.success = result.success
+            if bus is not None:
+                bus.rollback_subcall(bus_mark)
+            if event is not None:
+                event.callee_error = result.error
         if ret_size and result.returndata:
             frame.memory.write(ret_off, result.returndata[:ret_size])
-        stack.push(1 if result.success else 0,
-                   Shadow(frozenset({call_result_tag(event.index)})))
+        if event is not None:
+            event.success = result.success
+            stack.push(1 if result.success else 0,
+                       Shadow(frozenset({call_result_tag(event.index)})))
+        else:
+            stack.push(1 if result.success else 0)
         return gas - (call_gas - result.gas_left)
 
     # -- branch recording -------------------------------------------------------
 
     def _record_branch(self, pc: int, address: int, depth: int, cond: int,
                        taken: bool, dest: int, shadow: Shadow) -> None:
+        if not self.rec_branch:
+            return
         event = BranchEvent(
             pc=pc, address=address, depth=depth, condition=cond, taken=taken,
             dest=dest, taints=shadow.taints,
@@ -392,5 +477,7 @@ class Machine:
                 idx = int(tag.split(":", 1)[1])
                 if idx < len(self.trace.calls):
                     self.trace.calls[idx].checked = True
+        for deliver in self.sub_branch:
+            deliver(event, self.oracle_ctx)
 
 

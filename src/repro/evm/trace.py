@@ -131,6 +131,33 @@ def combine_or(a: Shadow, b: Shadow) -> Shadow:
 # Semantic trace events
 # ---------------------------------------------------------------------------
 
+#: Event-kind flags: one bit per :class:`TraceEvent` family.  The machine's
+#: ``event_mask`` (union of what the engine's feedback loop needs and what
+#: the subscribed oracles declare) decides which kinds are *materialized at
+#: all* — an unsubscribed kind costs one boolean check per opcode instead of
+#: a dataclass allocation plus a list append.
+(EV_BRANCH, EV_COMPARE, EV_CALL, EV_OVERFLOW, EV_STORAGE,
+ EV_SELFDESTRUCT, EV_BLOCK, EV_ETHER) = (1 << i for i in range(8))
+
+EV_ALL = (EV_BRANCH | EV_COMPARE | EV_CALL | EV_OVERFLOW | EV_STORAGE
+          | EV_SELFDESTRUCT | EV_BLOCK | EV_ETHER)
+
+#: flag → human name (docs, bench labels, debugging)
+EVENT_KIND_NAMES = {
+    EV_BRANCH: "branch",
+    EV_COMPARE: "compare",
+    EV_CALL: "call",
+    EV_OVERFLOW: "overflow",
+    EV_STORAGE: "storage",
+    EV_SELFDESTRUCT: "selfdestruct",
+    EV_BLOCK: "block",
+    EV_ETHER: "ether",
+}
+
+#: the kinds whose events describe *state effects* and are rolled back when
+#: the subcall that produced them reverts (see ExecutionTrace.subcall_mark)
+EV_STATE_EFFECTS = EV_OVERFLOW | EV_STORAGE | EV_SELFDESTRUCT | EV_ETHER
+
 
 @dataclass(slots=True)
 class TraceEvent:
@@ -224,6 +251,19 @@ class BlockStateEvent(TraceEvent):
 
 
 @dataclass(slots=True)
+class EtherEvent(TraceEvent):
+    """Ether credited to an account by a message call's value transfer.
+
+    ``address`` is the *recipient*.  The trace aggregates these into its
+    ``ether_received`` dict; the streaming bus delivers them individually
+    so subscribed oracles (ether freezing) see transfers as they happen —
+    and can roll them back with the subcall that produced them.
+    """
+
+    amount: int = 0
+
+
+@dataclass(slots=True)
 class ExecutionTrace:
     """Everything recorded during one transaction's execution."""
 
@@ -279,3 +319,31 @@ class ExecutionTrace:
         for addr, amount in other.ether_received.items():
             self.ether_received[addr] = self.ether_received.get(addr, 0) + amount
         self.steps += other.steps
+
+
+def events_from_trace(trace: ExecutionTrace, mask: int):
+    """Replay a recorded trace as a flat event stream filtered by ``mask``.
+
+    The batch adapter behind :meth:`repro.oracles.base.Oracle.on_receipt`:
+    oracles written against the streaming API can still consume a complete
+    receipt trace.  Events come out kind-major in the same per-kind order
+    the machine recorded them (reverted-subcall state effects were already
+    pruned from the trace, so no rollback is needed here).
+    """
+    if mask & EV_BRANCH:
+        yield from trace.branches
+    if mask & EV_COMPARE:
+        yield from trace.compares
+    if mask & EV_CALL:
+        yield from trace.calls
+    if mask & EV_OVERFLOW:
+        yield from trace.overflows
+    if mask & EV_STORAGE:
+        yield from trace.storage_ops
+    if mask & EV_SELFDESTRUCT:
+        yield from trace.selfdestructs
+    if mask & EV_BLOCK:
+        yield from trace.block_reads
+    if mask & EV_ETHER:
+        for address, amount in trace.ether_received.items():
+            yield EtherEvent(pc=0, address=address, depth=0, amount=amount)

@@ -8,8 +8,16 @@ exceptions, and unprotected delegatecall/selfdestruct; arithmetic truncation
 for integer overflow; and a static+dynamic combination for ether freezing.
 """
 
-from repro.oracles.base import BugClass, Finding, Oracle, OracleContext
+from repro.oracles.base import (
+    ALL_BUG_CLASSES,
+    BugClass,
+    Finding,
+    FindingCollector,
+    Oracle,
+    OracleContext,
+)
 from repro.oracles.block_dep import BlockDependencyOracle
+from repro.oracles.bus import OracleBus
 from repro.oracles.delegatecall import UnprotectedDelegatecallOracle
 from repro.oracles.ether_freeze import EtherFreezeOracle
 from repro.oracles.overflow import IntegerOverflowOracle
@@ -21,9 +29,12 @@ from repro.oracles.unhandled_exception import UnhandledExceptionOracle
 from repro.oracles.registry import all_oracles, oracle_for
 
 __all__ = [
+    "ALL_BUG_CLASSES",
     "BugClass",
     "Finding",
+    "FindingCollector",
     "Oracle",
+    "OracleBus",
     "OracleContext",
     "BlockDependencyOracle",
     "UnprotectedDelegatecallOracle",

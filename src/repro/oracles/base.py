@@ -1,4 +1,20 @@
-"""Oracle infrastructure: bug classes, findings, and the oracle protocol."""
+"""Oracle infrastructure: bug classes, findings, and the oracle protocol.
+
+Oracles are *streaming* consumers of the machine's semantic trace events:
+each declares the :data:`~repro.evm.trace.EV_BRANCH`-style event kinds it
+subscribes to, receives those events incrementally through
+:meth:`Oracle.on_event` while a transaction executes, and reports findings
+from :meth:`Oracle.end_transaction` once the receipt (success flag,
+call-checked marks) is final.  State-effect events an oracle buffered
+mid-transaction are rolled back with the subcall that produced them via
+:meth:`Oracle.subcall_mark` / :meth:`Oracle.rollback_subcall` — the same
+transactional semantics :class:`~repro.evm.trace.ExecutionTrace` applies
+to its own event lists.
+
+The historical batch entry point :meth:`Oracle.on_receipt` remains: it
+replays a complete receipt trace through the streaming hooks, so tests and
+external callers that hold a receipt need no bus.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +23,7 @@ from enum import Enum
 
 from repro.chain.transactions import TransactionReceipt
 from repro.compiler.artifacts import CompiledContract
+from repro.evm.trace import events_from_trace
 
 
 class BugClass(str, Enum):
@@ -28,21 +45,53 @@ class BugClass(str, Enum):
 
 ALL_BUG_CLASSES = tuple(BugClass)
 
+#: finding severity levels, most severe first (report ordering)
+SEVERITIES = ("high", "medium", "low")
+
 
 @dataclass(frozen=True)
 class Finding:
-    """One reported vulnerability."""
+    """One reported vulnerability.
+
+    Beyond the classification fields, a finding carries triage metadata —
+    ``severity`` and ``confidence`` (how often the detection pattern is a
+    true positive for its class) — and a **witness**: the serialized
+    transaction prefix (:meth:`repro.core.seeds.TxCall.to_dict` records,
+    in order) that triggered it, ending with the triggering transaction.
+    ``repro replay`` re-executes witnesses to confirm findings
+    deterministically.  The witness is excluded from equality/hash: two
+    reports of the same defect compare equal regardless of which input
+    sequence first exposed it.
+    """
 
     bug_class: BugClass
     contract: str
     pc: int
     line: int
     description: str
+    severity: str = "medium"
+    confidence: float = 0.5
+    #: transaction sequence (TxCall wire dicts) that triggered the finding
+    witness: tuple = field(default=(), compare=False)
 
     @property
     def key(self) -> tuple:
-        """Deduplication key: one finding per (class, pc)."""
-        return (self.bug_class, self.pc)
+        """Deduplication key: one finding per (class, contract, pc).
+
+        ``contract`` is part of the key so multi-contract campaigns never
+        collapse two findings that happen to share a pc.
+        """
+        return (self.bug_class, self.contract, self.pc)
+
+    def with_witness(self, witness) -> "Finding":
+        """A copy carrying ``witness`` (no-op when one is already set)."""
+        if self.witness:
+            return self
+        return Finding(
+            bug_class=self.bug_class, contract=self.contract, pc=self.pc,
+            line=self.line, description=self.description,
+            severity=self.severity, confidence=self.confidence,
+            witness=tuple(witness))
 
     def to_dict(self) -> dict:
         """JSON-serializable form; inverse of :meth:`from_dict`."""
@@ -52,6 +101,9 @@ class Finding:
             "pc": self.pc,
             "line": self.line,
             "description": self.description,
+            "severity": self.severity,
+            "confidence": self.confidence,
+            "witness": [dict(call) for call in self.witness],
         }
 
     @classmethod
@@ -62,6 +114,10 @@ class Finding:
             pc=int(data["pc"]),
             line=int(data["line"]),
             description=data["description"],
+            severity=data.get("severity", "medium"),
+            confidence=float(data.get("confidence", 0.5)),
+            witness=tuple(dict(call)
+                          for call in data.get("witness", ())),
         )
 
 
@@ -73,27 +129,97 @@ class OracleContext:
     address: int
     deployer: int
     attacker_addresses: frozenset = frozenset()
+    #: when a streaming bus drives the campaign, returns the serialized
+    #: transaction prefix currently executing — whole-campaign oracles use
+    #: it to capture witnesses for findings they only report in finalize
+    witness_provider: object = None
 
     def line_of(self, pc: int) -> int:
         return self.artifact.srcmap.get(pc, 0)
 
+    def current_witness(self) -> tuple:
+        """The live transaction prefix, or () outside a bus-driven run."""
+        if self.witness_provider is None:
+            return ()
+        return tuple(self.witness_provider())
+
 
 class Oracle:
-    """Base oracle: override ``on_receipt`` and/or ``finalize``.
+    """Base oracle: subscribe to event kinds, stream, report per transaction.
 
-    ``on_receipt`` is invoked for every executed transaction during a
-    campaign; ``finalize`` once at the end (for whole-campaign properties
-    such as ether freezing).  Both return iterables of :class:`Finding`.
+    Subclasses set :attr:`subscriptions` (an ``EV_*`` bitmask) and override
+    the streaming hooks they need:
+
+    * :meth:`begin_transaction` — reset per-transaction buffers;
+    * :meth:`on_event` — one subscribed event, in execution order.  CALL
+      events arrive when the call *starts*; their mutable fields
+      (``success``, ``callee_error``, ``checked``) are final only by
+      :meth:`end_transaction`, so buffer the reference and inspect late;
+    * :meth:`subcall_mark` / :meth:`rollback_subcall` — transactional
+      buffer marks for oracles that buffer *state-effect* events
+      (overflow / storage / selfdestruct / ether): when a subcall reverts,
+      everything buffered since the mark must be dropped;
+    * :meth:`end_transaction` — yield findings for the finished
+      transaction (the receipt carries the final success flag);
+    * :meth:`finalize` — whole-campaign properties, once at the end.
+
+    :meth:`on_receipt` is the batch adapter over the same hooks.
     """
 
     bug_class: BugClass
+    #: EV_* bitmask of the trace-event kinds this oracle consumes
+    subscriptions: int = 0
+    #: triage defaults stamped onto this oracle's findings
+    severity: str = "medium"
+    confidence: float = 0.5
 
-    def on_receipt(self, receipt: TransactionReceipt,
-                   ctx: OracleContext):
+    # -- streaming protocol ---------------------------------------------------
+
+    def begin_transaction(self) -> None:
+        pass
+
+    def on_event(self, event, ctx: OracleContext) -> None:
+        pass
+
+    def subcall_mark(self):
+        return None
+
+    def rollback_subcall(self, mark) -> None:
+        pass
+
+    def end_transaction(self, receipt: TransactionReceipt,
+                        ctx: OracleContext):
         return ()
 
     def finalize(self, ctx: OracleContext):
         return ()
+
+    # -- batch adapter ---------------------------------------------------------
+
+    def on_receipt(self, receipt: TransactionReceipt,
+                   ctx: OracleContext):
+        """Replay a complete receipt trace through the streaming hooks.
+
+        Reverted-subcall state effects were already pruned from the trace,
+        so no mark/rollback cycling is needed here.
+        """
+        self.begin_transaction()
+        for event in events_from_trace(receipt.trace, self.subscriptions):
+            self.on_event(event, ctx)
+        return self.end_transaction(receipt, ctx)
+
+    def finding(self, ctx: OracleContext, pc: int, description: str,
+                line: int | None = None) -> Finding:
+        """A finding at ``pc`` carrying this oracle's triage defaults."""
+        return Finding(
+            bug_class=self.bug_class,
+            contract=ctx.artifact.name,
+            pc=pc,
+            line=ctx.line_of(pc) if line is None else line,
+            description=description,
+            severity=self.severity,
+            confidence=self.confidence,
+        )
 
     # -- checkpoint serialization (campaign interrupt/resume) -----------------
 
@@ -102,11 +228,53 @@ class Oracle:
 
         Stateless oracles (the default) return ``{}``; stateful ones
         (e.g. ether freezing) override both hooks so a resumed campaign
-        observes exactly what the uninterrupted one would."""
+        observes exactly what the uninterrupted one would.  Per-transaction
+        buffers are *not* part of this: checkpoints happen at iteration
+        boundaries, where every transactional buffer is empty."""
         return {}
 
     def restore_state(self, data: dict) -> None:
         pass
+
+
+class BufferedOracle(Oracle):
+    """Oracle that accumulates findings per transaction from control-flow
+    events (never rolled back): subclasses append to ``self._found`` in
+    :meth:`on_event`; the buffer is handed out at transaction end and is
+    valid until the next :meth:`begin_transaction` (no per-tx copy)."""
+
+    def __init__(self) -> None:
+        self._found: list = []
+
+    def begin_transaction(self) -> None:
+        self._found.clear()
+
+    def end_transaction(self, receipt: TransactionReceipt,
+                        ctx: OracleContext):
+        return self._found
+
+
+class TransactionalOracle(Oracle):
+    """Oracle that buffers *state-effect* events for the contract under
+    test per transaction, with mark/rollback honoring subcall reverts:
+    subclasses implement :meth:`end_transaction` over ``self._pending``
+    (which holds only events that survived every rollback)."""
+
+    def __init__(self) -> None:
+        self._pending: list = []
+
+    def begin_transaction(self) -> None:
+        self._pending.clear()
+
+    def on_event(self, event, ctx: OracleContext) -> None:
+        if event.address == ctx.address:
+            self._pending.append(event)
+
+    def subcall_mark(self) -> int:
+        return len(self._pending)
+
+    def rollback_subcall(self, mark: int) -> None:
+        del self._pending[mark:]
 
 
 @dataclass
@@ -132,7 +300,7 @@ class FindingCollector:
 
     def all(self) -> list:
         return sorted(self.findings.values(),
-                      key=lambda f: (f.bug_class.value, f.pc))
+                      key=lambda f: (f.bug_class.value, f.contract, f.pc))
 
     def by_class(self) -> dict:
         out: dict = {}

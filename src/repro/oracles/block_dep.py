@@ -7,39 +7,31 @@ the contamination tracking; this oracle just inspects tainted events.
 
 from __future__ import annotations
 
-from repro.evm.trace import Taint
-from repro.oracles.base import BugClass, Finding, Oracle, OracleContext
+from repro.evm.trace import EV_BRANCH, EV_CALL, BranchEvent, Taint
+from repro.oracles.base import BugClass, BufferedOracle, OracleContext
 
 
-class BlockDependencyOracle(Oracle):
+class BlockDependencyOracle(BufferedOracle):
     bug_class = BugClass.BD
+    # NB: not subscribed to EV_BLOCK — block-state taint can arrive through
+    # storage written by an *earlier* transaction, so the block-read events
+    # themselves carry no signal; only tainted branches/calls do.
+    subscriptions = EV_BRANCH | EV_CALL
+    severity = "low"
+    confidence = 0.7
 
-    def on_receipt(self, receipt, ctx: OracleContext):
-        # NB: no short-circuit on trace.block_reads — block-state taint can
-        # arrive through storage written by an *earlier* transaction.
-        trace = receipt.trace
-        for event in trace.branches:
-            if event.address != ctx.address:
-                continue
+    def on_event(self, event, ctx: OracleContext) -> None:
+        if event.address != ctx.address:
+            return
+        if isinstance(event, BranchEvent):
             if Taint.BLOCK in event.taints:
-                yield Finding(
-                    bug_class=self.bug_class,
-                    contract=ctx.artifact.name,
-                    pc=event.pc,
-                    line=ctx.line_of(event.pc),
-                    description="block state (timestamp/number) influences a "
-                                "conditional jump",
-                )
-        for event in trace.calls:
-            if event.address != ctx.address:
-                continue
-            if Taint.BLOCK in event.value_taints or \
-                    Taint.BLOCK in event.target_taints:
-                yield Finding(
-                    bug_class=self.bug_class,
-                    contract=ctx.artifact.name,
-                    pc=event.pc,
-                    line=ctx.line_of(event.pc),
-                    description="block state flows into the value/target of "
-                                "an external call",
-                )
+                self._found.append(self.finding(
+                    ctx, event.pc,
+                    "block state (timestamp/number) influences a "
+                    "conditional jump"))
+        elif Taint.BLOCK in event.value_taints or \
+                Taint.BLOCK in event.target_taints:
+            self._found.append(self.finding(
+                ctx, event.pc,
+                "block state flows into the value/target of an "
+                "external call"))

@@ -1,0 +1,145 @@
+"""The streaming oracle bus: subscription-filtered event dispatch.
+
+One :class:`OracleBus` serves one campaign.  It computes the union
+subscription mask of its oracles (the machine materializes *only* those
+event kinds), fans each recorded event out to the oracles subscribed to
+its kind while the transaction is still executing, and settles findings at
+transaction end — attaching a **witness** (the transaction prefix that
+triggered the finding) to every new finding before it reaches the
+collector.
+
+Subcall-revert rollback is forwarded to the oracles' transactional
+buffers: when the machine rolls a reverted frame's state-effect events out
+of the trace, the bus rolls the same events out of every subscribed
+oracle, so streaming and per-receipt batch scanning are observationally
+identical.
+"""
+
+from __future__ import annotations
+
+from repro.evm.trace import (
+    EV_BRANCH,
+    EV_BLOCK,
+    EV_CALL,
+    EV_COMPARE,
+    EV_ETHER,
+    EV_OVERFLOW,
+    EV_SELFDESTRUCT,
+    EV_STATE_EFFECTS,
+    EV_STORAGE,
+)
+from repro.oracles.base import FindingCollector, OracleContext
+
+
+class OracleBus:
+    """Dispatches trace events to subscribed oracles during execution.
+
+    Parameters
+    ----------
+    oracles:
+        The campaign's oracle instances, in registry order (dispatch and
+        settlement preserve this order, so finding deduplication behaves
+        exactly like the historical per-receipt oracle loop).
+    ctx:
+        The :class:`~repro.oracles.base.OracleContext` passed to every
+        hook.
+    collector:
+        Optional :class:`~repro.oracles.base.FindingCollector`; used to
+        decide which findings are *new* (only those pay for witness
+        serialization).
+    """
+
+    def __init__(self, oracles, ctx: OracleContext,
+                 collector: FindingCollector | None = None) -> None:
+        self.oracles = list(oracles)
+        self.ctx = ctx
+        ctx.witness_provider = self.current_witness
+        self.collector = collector
+        #: union of the oracles' subscriptions — the machine's event mask
+        self.mask = 0
+        for oracle in self.oracles:
+            self.mask |= oracle.subscriptions
+        #: per-kind tuples of *bound* ``on_event`` methods (binding once
+        #: per campaign keeps the per-event dispatch to a plain call)
+        self._subs = {
+            kind: tuple(o.on_event for o in self.oracles
+                        if o.subscriptions & kind)
+            for kind in (EV_BRANCH, EV_COMPARE, EV_CALL, EV_OVERFLOW,
+                         EV_STORAGE, EV_SELFDESTRUCT, EV_BLOCK, EV_ETHER)
+        }
+        #: the per-kind tables in machine attribute order — built once per
+        #: campaign, unpacked by every per-transaction Machine
+        self.dispatch_tables = tuple(
+            self._subs[kind]
+            for kind in (EV_BRANCH, EV_COMPARE, EV_CALL, EV_OVERFLOW,
+                         EV_STORAGE, EV_SELFDESTRUCT, EV_BLOCK, EV_ETHER))
+        #: oracles holding transactional (state-effect) buffers
+        self._transactional = tuple(
+            o for o in self.oracles if o.subscriptions & EV_STATE_EFFECTS)
+        #: bound per-transaction hooks (one method lookup per campaign,
+        #: not one per transaction)
+        self._begin_hooks = tuple(o.begin_transaction for o in self.oracles)
+        self._end_hooks = tuple(o.end_transaction for o in self.oracles)
+        #: the sequence currently executing and the index of the live tx
+        self._calls: list = []
+        self._tx_index = 0
+
+    # -- sequence / witness bookkeeping ----------------------------------------
+
+    def begin_sequence(self, calls, start_at: int = 0) -> None:
+        """Announce the transaction sequence about to execute.
+
+        ``calls`` are the seed's :class:`~repro.core.seeds.TxCall` records;
+        ``start_at`` is the first index that will actually run (earlier
+        transactions were replayed from a memoized state-cache prefix but
+        still belong in any witness).
+        """
+        self._calls = list(calls)
+        self._tx_index = start_at
+
+    def current_witness(self) -> tuple:
+        """Serialized prefix of the running sequence up to the live tx."""
+        return tuple(call.to_dict()
+                     for call in self._calls[:self._tx_index + 1])
+
+    # -- transaction lifecycle -------------------------------------------------
+
+    def begin_transaction(self) -> None:
+        for hook in self._begin_hooks:
+            hook()
+
+    def subcall_mark(self) -> tuple:
+        return tuple(oracle.subcall_mark()
+                     for oracle in self._transactional)
+
+    def rollback_subcall(self, marks: tuple) -> None:
+        for oracle, mark in zip(self._transactional, marks):
+            oracle.rollback_subcall(mark)
+
+    def end_transaction(self, receipt) -> list:
+        """Settle the finished transaction: collect findings, attach
+        witnesses to new ones, and advance the sequence position."""
+        findings = []
+        witness = None
+        ctx = self.ctx
+        for hook in self._end_hooks:
+            for finding in hook(receipt, ctx):
+                if self._is_new(finding):
+                    if witness is None:
+                        witness = self.current_witness()
+                    finding = finding.with_witness(witness)
+                findings.append(finding)
+        self._tx_index += 1
+        return findings
+
+    def finalize(self) -> list:
+        """End-of-campaign findings (whole-campaign oracles attach their
+        own witnesses — see the ether-freeze oracle)."""
+        findings = []
+        for oracle in self.oracles:
+            findings.extend(oracle.finalize(self.ctx))
+        return findings
+
+    def _is_new(self, finding) -> bool:
+        return (self.collector is None
+                or finding.key not in self.collector.findings)

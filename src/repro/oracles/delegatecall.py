@@ -8,24 +8,22 @@ runs with the victim's storage.
 
 from __future__ import annotations
 
-from repro.evm.trace import Taint
-from repro.oracles.base import BugClass, Finding, Oracle, OracleContext
+from repro.evm.trace import EV_CALL, Taint
+from repro.oracles.base import BugClass, BufferedOracle, OracleContext
 
 
-class UnprotectedDelegatecallOracle(Oracle):
+class UnprotectedDelegatecallOracle(BufferedOracle):
     bug_class = BugClass.UD
+    subscriptions = EV_CALL
+    severity = "high"
+    confidence = 0.9
 
-    def on_receipt(self, receipt, ctx: OracleContext):
-        for event in receipt.trace.calls:
-            if event.kind != "delegatecall" or event.address != ctx.address:
-                continue
-            attacker_controlled = Taint.CALLDATA in event.target_taints
-            if attacker_controlled and not event.guarded:
-                yield Finding(
-                    bug_class=self.bug_class,
-                    contract=ctx.artifact.name,
-                    pc=event.pc,
-                    line=ctx.line_of(event.pc),
-                    description="delegatecall target comes from calldata and "
-                                "the function has no caller guard",
-                )
+    def on_event(self, event, ctx: OracleContext) -> None:
+        if event.kind != "delegatecall" or event.address != ctx.address:
+            return
+        attacker_controlled = Taint.CALLDATA in event.target_taints
+        if attacker_controlled and not event.guarded:
+            self._found.append(self.finding(
+                ctx, event.pc,
+                "delegatecall target comes from calldata and the "
+                "function has no caller guard"))

@@ -6,28 +6,29 @@ the EVM.  The machine records every truncation as an
 in *successful* transactions (a reverted overflow — the SafeMath guard
 pattern — never corrupts persistent state, matching how ConFuzzius and
 Smartian count IO bugs).
+
+Overflow events are state effects: the per-transaction buffer is
+transactional, so truncations recorded inside a subcall that later reverts
+are rolled back and never reported.
 """
 
 from __future__ import annotations
 
-from repro.oracles.base import BugClass, Finding, Oracle, OracleContext
+from repro.evm.trace import EV_OVERFLOW
+from repro.oracles.base import BugClass, OracleContext, TransactionalOracle
 
 
-class IntegerOverflowOracle(Oracle):
+class IntegerOverflowOracle(TransactionalOracle):
     bug_class = BugClass.IO
+    subscriptions = EV_OVERFLOW
+    severity = "high"
+    confidence = 0.8
 
-    def on_receipt(self, receipt, ctx: OracleContext):
-        if not receipt.success:
-            return
-        for event in receipt.trace.overflows:
-            if event.address != ctx.address:
-                continue
-            yield Finding(
-                bug_class=self.bug_class,
-                contract=ctx.artifact.name,
-                pc=event.pc,
-                line=ctx.line_of(event.pc),
-                description=f"{event.op_name} truncated: "
-                            f"{event.lhs} {event.op_name} {event.rhs} "
-                            f"wrapped to {event.result}",
-            )
+    def end_transaction(self, receipt, ctx: OracleContext):
+        if not self._pending or not receipt.success:
+            return ()
+        return [self.finding(
+            ctx, event.pc,
+            f"{event.op_name} truncated: "
+            f"{event.lhs} {event.op_name} {event.rhs} "
+            f"wrapped to {event.result}") for event in self._pending]

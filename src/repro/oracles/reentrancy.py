@@ -10,29 +10,41 @@ active call stack.
 from __future__ import annotations
 
 from repro.evm.machine import CALL_STIPEND
-from repro.oracles.base import BugClass, Finding, Oracle, OracleContext
+from repro.evm.trace import EV_CALL
+from repro.oracles.base import BugClass, Oracle, OracleContext
 
 
 class ReentrancyOracle(Oracle):
     bug_class = BugClass.RE
+    subscriptions = EV_CALL
+    severity = "high"
+    confidence = 0.95
 
-    def on_receipt(self, receipt, ctx: OracleContext):
-        trace = receipt.trace
+    def __init__(self) -> None:
+        #: calls observed this transaction (whole-tx view: the verdict
+        #: needs both the reentrant frame and the enabling call.value)
+        self._calls: list = []
+
+    def begin_transaction(self) -> None:
+        self._calls.clear()
+
+    def on_event(self, event, ctx: OracleContext) -> None:
+        self._calls.append(event)
+
+    def end_transaction(self, receipt, ctx: OracleContext):
+        if not self._calls:
+            return ()
         reentered = any(
             event.reentrant and event.target == ctx.address
-            for event in trace.calls)
+            for event in self._calls)
         if not reentered:
-            return
-        for event in trace.calls:
-            if (event.address == ctx.address
-                    and event.kind == "call"
-                    and event.value > 0
-                    and event.gas > CALL_STIPEND):
-                yield Finding(
-                    bug_class=self.bug_class,
-                    contract=ctx.artifact.name,
-                    pc=event.pc,
-                    line=ctx.line_of(event.pc),
-                    description="call.value with forwarded gas allowed the "
-                                "callee to re-enter the contract",
-                )
+            return ()
+        return [self.finding(
+            ctx, event.pc,
+            "call.value with forwarded gas allowed the callee to "
+            "re-enter the contract")
+            for event in self._calls
+            if event.address == ctx.address
+            and event.kind == "call"
+            and event.value > 0
+            and event.gas > CALL_STIPEND]

@@ -28,9 +28,15 @@ _ORACLE_TYPES = {
 
 def all_oracles(supported=None) -> list:
     """Fresh instances of every oracle (optionally restricted to a subset of
-    :class:`BugClass` — used to model tools that support fewer classes)."""
-    classes = supported if supported is not None else _ORACLE_TYPES.keys()
-    return [_ORACLE_TYPES[bc]() for bc in classes]
+    :class:`BugClass` — used to model tools that support fewer classes, and
+    by ``--oracles`` to focus a campaign).  Instances always come out in
+    registry order, whatever container ``supported`` is, so event dispatch
+    and finding settlement are deterministic."""
+    if supported is None:
+        return [factory() for factory in _ORACLE_TYPES.values()]
+    wanted = {BugClass(bc) for bc in supported}
+    return [factory() for bc, factory in _ORACLE_TYPES.items()
+            if bc in wanted]
 
 
 def oracle_for(bug_class: BugClass) -> Oracle:

@@ -3,30 +3,30 @@
 ConFuzzius-style (§IV-D): SELFDESTRUCT executed in a transaction whose
 sender is *not* the contract's deployer, or with no caller guard at all —
 an arbitrary account can destroy the contract and redirect its balance.
+
+Selfdestruct events are state effects: one recorded inside a subcall that
+later reverts did not actually destroy anything, so the per-transaction
+buffer is transactional.
 """
 
 from __future__ import annotations
 
-from repro.oracles.base import BugClass, Finding, Oracle, OracleContext
+from repro.evm.trace import EV_SELFDESTRUCT
+from repro.oracles.base import BugClass, OracleContext, TransactionalOracle
 
 
-class UnprotectedSelfDestructOracle(Oracle):
+class UnprotectedSelfDestructOracle(TransactionalOracle):
     bug_class = BugClass.US
+    subscriptions = EV_SELFDESTRUCT
+    severity = "high"
+    confidence = 0.95
 
-    def on_receipt(self, receipt, ctx: OracleContext):
-        if not receipt.success:
-            return
-        for event in receipt.trace.selfdestructs:
-            if event.address != ctx.address:
-                continue
-            unprotected = (event.caller != ctx.deployer
-                           or not event.guarded_by_caller_check)
-            if unprotected:
-                yield Finding(
-                    bug_class=self.bug_class,
-                    contract=ctx.artifact.name,
-                    pc=event.pc,
-                    line=ctx.line_of(event.pc),
-                    description=f"selfdestruct executed by non-owner "
-                                f"{event.caller:#x}",
-                )
+    def end_transaction(self, receipt, ctx: OracleContext):
+        if not self._pending or not receipt.success:
+            return ()
+        return [self.finding(
+            ctx, event.pc,
+            f"selfdestruct executed by non-owner {event.caller:#x}")
+            for event in self._pending
+            if event.caller != ctx.deployer
+            or not event.guarded_by_caller_check]

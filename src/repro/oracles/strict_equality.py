@@ -7,23 +7,20 @@ ether into it, ``==`` on balances is a denial-of-service bug.
 
 from __future__ import annotations
 
-from repro.evm.trace import Taint
-from repro.oracles.base import BugClass, Finding, Oracle, OracleContext
+from repro.evm.trace import EV_COMPARE, Taint
+from repro.oracles.base import BugClass, BufferedOracle, OracleContext
 
 
-class StrictEqualityOracle(Oracle):
+class StrictEqualityOracle(BufferedOracle):
     bug_class = BugClass.SE
+    subscriptions = EV_COMPARE
+    severity = "low"
+    confidence = 0.8
 
-    def on_receipt(self, receipt, ctx: OracleContext):
-        for event in receipt.trace.compares:
-            if event.address != ctx.address:
-                continue
-            if event.op_name == "EQ" and Taint.BALANCE in event.taints:
-                yield Finding(
-                    bug_class=self.bug_class,
-                    contract=ctx.artifact.name,
-                    pc=event.pc,
-                    line=ctx.line_of(event.pc),
-                    description="contract balance used in a strict equality "
-                                "comparison",
-                )
+    def on_event(self, event, ctx: OracleContext) -> None:
+        if event.address != ctx.address:
+            return
+        if event.op_name == "EQ" and Taint.BALANCE in event.taints:
+            self._found.append(self.finding(
+                ctx, event.pc,
+                "contract balance used in a strict equality comparison"))

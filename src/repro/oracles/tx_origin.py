@@ -7,22 +7,19 @@ intermediate contracts, unlike msg.sender).
 
 from __future__ import annotations
 
-from repro.evm.trace import Taint
-from repro.oracles.base import BugClass, Finding, Oracle, OracleContext
+from repro.evm.trace import EV_COMPARE, Taint
+from repro.oracles.base import BugClass, BufferedOracle, OracleContext
 
 
-class TxOriginOracle(Oracle):
+class TxOriginOracle(BufferedOracle):
     bug_class = BugClass.TO
+    subscriptions = EV_COMPARE
+    severity = "medium"
+    confidence = 0.85
 
-    def on_receipt(self, receipt, ctx: OracleContext):
-        for event in receipt.trace.compares:
-            if event.address != ctx.address:
-                continue
-            if Taint.ORIGIN in event.taints:
-                yield Finding(
-                    bug_class=self.bug_class,
-                    contract=ctx.artifact.name,
-                    pc=event.pc,
-                    line=ctx.line_of(event.pc),
-                    description="tx.origin used for authentication",
-                )
+    def on_event(self, event, ctx: OracleContext) -> None:
+        if event.address != ctx.address:
+            return
+        if Taint.ORIGIN in event.taints:
+            self._found.append(self.finding(
+                ctx, event.pc, "tx.origin used for authentication"))

@@ -5,27 +5,41 @@ INVALID) and the caller never routed the success flag into a conditional
 jump — the classic unchecked ``send``.  The machine taints every call's
 success flag and marks the call *checked* when that taint reaches a JUMPI,
 so the oracle only needs to look for failed-and-unchecked calls.
+
+Call events arrive when the call starts; ``success`` and ``checked``
+settle later in the transaction, so the oracle buffers the event
+references and inspects them once the receipt is final.
 """
 
 from __future__ import annotations
 
-from repro.oracles.base import BugClass, Finding, Oracle, OracleContext
+from repro.evm.trace import EV_CALL
+from repro.oracles.base import BugClass, Oracle, OracleContext
 
 
 class UnhandledExceptionOracle(Oracle):
     bug_class = BugClass.UE
+    subscriptions = EV_CALL
+    severity = "medium"
+    confidence = 0.9
 
-    def on_receipt(self, receipt, ctx: OracleContext):
-        for event in receipt.trace.calls:
-            if event.address != ctx.address or event.kind != "call":
-                continue
-            if not event.success and not event.checked:
-                yield Finding(
-                    bug_class=self.bug_class,
-                    contract=ctx.artifact.name,
-                    pc=event.pc,
-                    line=ctx.line_of(event.pc),
-                    description=f"external call failed "
-                                f"({event.callee_error or 'reverted'}) and "
-                                "its return value was never checked",
-                )
+    def __init__(self) -> None:
+        self._calls: list = []
+
+    def begin_transaction(self) -> None:
+        self._calls.clear()
+
+    def on_event(self, event, ctx: OracleContext) -> None:
+        if event.address == ctx.address and event.kind == "call":
+            self._calls.append(event)
+
+    def end_transaction(self, receipt, ctx: OracleContext):
+        if not self._calls:
+            return ()
+        return [self.finding(
+            ctx, event.pc,
+            f"external call failed "
+            f"({event.callee_error or 'reverted'}) and "
+            "its return value was never checked")
+            for event in self._calls
+            if not event.success and not event.checked]

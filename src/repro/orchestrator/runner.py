@@ -67,7 +67,8 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
                recycle_after: int | None = None,
                checkpoint_every: int | None = None,
                time_budget: float | None = None,
-               tx_budget: int | None = None) -> MatrixRun:
+               tx_budget: int | None = None,
+               oracles=None) -> MatrixRun:
     """Run (or resume) a campaign matrix; see module docstring.
 
     ``results_dir=None`` keeps everything in memory (no persistence,
@@ -85,8 +86,21 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
     persist a mid-campaign checkpoint every N executions; an interrupted
     matrix then resumes *mid-campaign* from those checkpoints, with
     byte-identical final results.
+
+    ``oracles`` restricts every campaign to the given bug classes
+    (iterable of :class:`~repro.oracles.base.BugClass` members or string
+    codes); it folds into each job's config as ``bug_classes``, so the
+    restriction participates in result fingerprints and checkpoints.  Use
+    ``supported`` instead to model *per-preset* tool capability sets.
     """
     start = time.perf_counter()
+    if oracles is not None:
+        from repro.core.config import normalize_bug_classes
+        overrides = dict(overrides or {})
+        if "bug_classes" in overrides:
+            raise ValueError("oracles given both directly and as a "
+                             "bug_classes override; pass it one way")
+        overrides["bug_classes"] = list(normalize_bug_classes(oracles))
     if checkpoint_every is not None and results_dir is None:
         raise ValueError("checkpoint_every requires results_dir "
                          "(checkpoints persist next to the results)")

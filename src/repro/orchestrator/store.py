@@ -26,6 +26,7 @@ completes, and ignored when its fingerprint no longer matches the job.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
 
@@ -37,7 +38,14 @@ __all__ = ["ResultStore", "CheckpointSession", "canonical_json",
            "write_checkpoint_file", "read_checkpoint_file",
            "clear_checkpoint_file", "CHECKPOINT_SUFFIX"]
 
-SCHEMA_VERSION = 1
+#: Schema history —
+#: 1: job identity + result.
+#: 2: records additionally embed the contract source, contract name, the
+#:    fully-resolved config, and the oracle restriction, making each record
+#:    self-contained evidence: ``repro replay record.json`` re-executes
+#:    every finding's witness without any external context.  v1 records
+#:    simply re-run (they are caches, not data).
+SCHEMA_VERSION = 2
 
 #: suffix distinguishing checkpoint files from result records
 CHECKPOINT_SUFFIX = ".checkpoint.json"
@@ -167,6 +175,14 @@ class ResultStore:
             "trial": job.trial,
             "rng_seed": job.derived_seed(),
             "status": outcome.status,
+            # self-contained replay context: source + resolved config +
+            # oracle restriction (see repro.core.replay.replay_record)
+            "source": job.source,
+            "contract": job.contract,
+            "config": dataclasses.asdict(job.build_config()),
+            "supported_bug_classes": (
+                None if job.supported_bug_classes is None
+                else list(job.supported_bug_classes)),
             "result": result_data,
         }
         path = self.path_for(job)

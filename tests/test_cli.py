@@ -138,6 +138,82 @@ def strip_wall_time(fuzz_output: str) -> str:
     return re.sub(r", \d+\.\d+s$", "", fuzz_output.strip().splitlines()[0])
 
 
+VULNERABLE_SOURCE = """
+contract Lockbox {
+    uint256 total = 0;
+    mapping(address => uint256) shares;
+    function put(uint256 v) public payable {
+        shares[msg.sender] += v;
+        total += v;
+    }
+    function take(uint256 v) public {
+        shares[msg.sender] -= v;
+        total -= v;
+    }
+}
+"""
+
+
+@pytest.fixture
+def lockbox_file(tmp_path):
+    path = tmp_path / "lockbox.sol"
+    path.write_text(VULNERABLE_SOURCE)
+    return str(path)
+
+
+class TestOracleSelection:
+    def test_fuzz_restricted_oracles(self, capsys, lockbox_file):
+        out = run_cli(capsys, "fuzz", lockbox_file,
+                      "--iterations", "40", "--seed", "5",
+                      "--oracles", "IO")
+        assert "IO" in out
+        assert "EF" not in out  # ether freezing deselected
+        assert "severity" in out
+
+    def test_fuzz_oracles_none_disables_findings(self, capsys,
+                                                 lockbox_file):
+        out = run_cli(capsys, "fuzz", lockbox_file,
+                      "--iterations", "40", "--seed", "5",
+                      "--oracles", "none")
+        assert "no findings" in out
+
+    def test_fuzz_rejects_unknown_oracle_code(self, capsys, lockbox_file):
+        assert main(["fuzz", lockbox_file, "--oracles", "ZZ"]) == 2
+        assert "--oracles" in capsys.readouterr().out
+
+    def test_fuzz_rejects_empty_oracles_value(self, capsys, lockbox_file):
+        # a fat-fingered empty value must not silently run oracle-free
+        assert main(["fuzz", lockbox_file, "--oracles", " , "]) == 2
+        assert "no bug-class codes" in capsys.readouterr().out
+
+    def test_campaign_oracles_flag(self, capsys, tmp_path, lockbox_file):
+        results = tmp_path / "results"
+        out = run_cli(capsys, "campaign", lockbox_file,
+                      "--fuzzers", "mufuzz", "--trials", "1",
+                      "--iterations", "40", "--workers", "1",
+                      "--oracles", "IO,RE",
+                      "--results-dir", str(results))
+        assert "IO" in out
+        assert "EF" not in out
+
+    def test_replay_retriggers_findings(self, capsys, tmp_path,
+                                        lockbox_file):
+        results = tmp_path / "results"
+        run_cli(capsys, "campaign", lockbox_file,
+                "--fuzzers", "mufuzz", "--trials", "1",
+                "--iterations", "40", "--workers", "1",
+                "--results-dir", str(results))
+        out = run_cli(capsys, "replay", str(results))
+        assert "retriggered" in out
+        assert "missed" not in out
+
+    def test_replay_rejects_non_record(self, capsys, tmp_path):
+        bogus = tmp_path / "x.json"
+        bogus.write_text("{}")
+        assert main(["replay", str(bogus)]) == 2
+        assert "not a campaign result record" in capsys.readouterr().out
+
+
 class TestBudgetFlags:
     def test_fuzz_tx_budget_stops_open_ended_campaign(self, capsys,
                                                       crowdsale_file):

@@ -301,7 +301,7 @@ class TestCheckpointWire:
         text = checkpoint.to_json()
         assert text == checkpoint.to_json()
         assert text.endswith("\n")
-        assert json.loads(text)["schema"] == 1
+        assert json.loads(text)["schema"] == 2
 
     def test_unknown_schema_rejected(self):
         data = json.loads(self._checkpoint().to_json())

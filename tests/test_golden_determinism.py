@@ -124,6 +124,34 @@ def test_interrupted_matrix_resumes_to_golden_fixture(backend, tmp_path):
          f"from the golden campaign fixture")
 
 
+def test_golden_findings_replay_from_witnesses():
+    """Every finding in the golden fixture re-triggers when its stored
+    witness sequence is re-executed in a fresh campaign environment (the
+    witness/replay half of the streaming-oracle-bus guarantee)."""
+    from repro.core.replay import replay_findings
+    from repro.oracles.base import Finding
+    from repro.orchestrator.jobs import build_matrix
+
+    data = json.loads(GOLDEN_PATH.read_text())
+    jobs = {job.job_id: job
+            for job in build_matrix(_golden_contracts(), PRESETS, trials=1,
+                                    overrides=dict(OVERRIDES))}
+    replayed = 0
+    for job_id, cell in data.items():
+        findings = [Finding.from_dict(f) for f in cell["findings"]]
+        if not findings:
+            continue
+        job = jobs[job_id]
+        outcomes = replay_findings(job.source, job.build_config(),
+                                   findings, contract=job.contract,
+                                   supported=job.supported_set())
+        bad = [(o.finding.bug_class.value, o.finding.pc, o.status)
+               for o in outcomes if not o.ok]
+        assert not bad, f"{job_id}: witnesses failed to re-trigger: {bad}"
+        replayed += len(outcomes)
+    assert replayed, "golden fixture contains no findings to replay"
+
+
 if __name__ == "__main__":
     if os.environ.get("REPRO_REGEN_GOLDEN") != "1":
         raise SystemExit("set REPRO_REGEN_GOLDEN=1 to rewrite the fixture")
