@@ -86,18 +86,20 @@ def record_matrix_timing(label: str, run) -> None:
         data = json.loads(TIMING_PATH.read_text())
     except (OSError, ValueError):
         data = {}
+    # RunStats.to_wire() is the canonical stats serialization: raw
+    # counters plus the derived execs/sec, txs/sec, and cache-hit-rate
+    stats = run.stats.to_wire()
+    stats.pop("telemetry", None)  # registry snapshots are too bulky here
+    stats.pop("elapsed", None)    # recorded as wall_clock_s below
     data[label] = {
-        "backend": run.backend,
-        "workers": run.stats.get("workers"),
         "cells": len(run.outcomes),
         "executed": run.executed,
         "cached": run.cached,
         "wall_clock_s": round(run.elapsed, 3),
         "jobs_per_sec": (round(run.executed / run.elapsed, 3)
                          if run.elapsed > 0 and run.executed else None),
-        "compile_cache_hits": run.stats.get("compile_cache_hits", 0),
-        "compile_cache_misses": run.stats.get("compile_cache_misses", 0),
         "scale": SCALE,
+        **stats,
     }
     TIMING_PATH.write_text(json.dumps(data, indent=2, sort_keys=True)
                            + "\n")

@@ -8,6 +8,11 @@ from repro.chain.state import WorldState
 from repro.chain.transactions import Transaction, TransactionReceipt
 from repro.evm.machine import Machine, Message
 from repro.evm.trace import EV_ALL
+from repro.telemetry.spans import span as _span
+
+#: wall time spent restoring the post-deployment snapshot between
+#: iterations (no-op unless telemetry is enabled)
+_S_JOURNAL_RESET = _span("chain.journal_reset")
 
 #: Base address for deployed contracts; user/agent accounts live below this.
 CONTRACT_ADDRESS_BASE = 0xC0000000
@@ -170,10 +175,11 @@ class Chain:
         """Undo everything since :meth:`mark_base` and return ``self``."""
         if self._base is None:
             raise RuntimeError("reset_to_base() without mark_base()")
-        self.world.revert_to(0)
-        number, timestamp, n_receipts, next_contract = self._base
-        self.block.number = number
-        self.block.timestamp = timestamp
-        del self.receipts[n_receipts:]
-        self._next_contract = next_contract
+        with _S_JOURNAL_RESET:
+            self.world.revert_to(0)
+            number, timestamp, n_receipts, next_contract = self._base
+            self.block.number = number
+            self.block.timestamp = timestamp
+            del self.receipts[n_receipts:]
+            self._next_contract = next_contract
         return self

@@ -4,12 +4,19 @@ Commands
 --------
 ``fuzz FILE``      run a fuzzing campaign on a MiniSol source file
 ``campaign``       run a contract × fuzzer × trial matrix across workers
+``top DIR``        live view of a running campaign matrix
 ``replay PATH``    re-trigger persisted findings from their witnesses
 ``compile FILE``   compile and print bytecode size, ABI, storage layout
 ``disasm FILE``    disassemble the runtime bytecode
 ``analyze FILE``   print the sequence-aware data-flow analysis (§IV-A)
 ``scan FILE``      run the five static-analyzer models
 ``corpus``         generate and summarize the benchmark corpora
+
+All user-facing output goes through the structured logger
+(:mod:`repro.telemetry.log`): INFO renders bare on stdout (it *is* the
+CLI output), warnings/errors go to stderr, and ``-q``/``-v``/
+``--log-level`` tune the threshold.  Errors always pair a stderr message
+with a nonzero exit code.
 """
 
 from __future__ import annotations
@@ -24,12 +31,21 @@ from repro.baselines import STATIC_ANALYZERS
 from repro.compiler import compile_cached
 from repro.core import PRESET_CONFIGS, Fuzzer
 from repro.reporting import format_percentage_bars, format_table
+from repro.telemetry import log
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="MuFuzz reproduction: smart-contract fuzzing toolkit")
+    parser.add_argument("-q", "--quiet", action="count", default=0,
+                        help="less output (-q = warnings and errors only, "
+                             "-qq = errors only)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more output (debug level)")
+    parser.add_argument("--log-level", default=None,
+                        choices=("debug", "info", "warning", "error"),
+                        help="explicit log threshold (overrides -q/-v)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     fuzz = sub.add_parser("fuzz", help="fuzz a MiniSol contract")
@@ -65,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "all nine, 'none' = coverage only). The "
                            "machine skips materializing trace events no "
                            "selected oracle subscribes to")
+    fuzz.add_argument("--metrics", default=None, metavar="FILE",
+                      help="collect telemetry during the campaign "
+                           "(provably inert: results are byte-identical "
+                           "with it on or off) and write the metrics "
+                           "snapshot — counters, histograms, span times — "
+                           "to FILE as canonical JSON")
 
     camp = sub.add_parser(
         "campaign",
@@ -130,6 +152,29 @@ def build_parser() -> argparse.ArgumentParser:
                       help="restrict every campaign to these bug classes "
                            "(comma-separated codes, e.g. RE,IO; 'all' = "
                            "all nine, 'none' = coverage only)")
+    camp.add_argument("--telemetry", action="store_true",
+                      help="collect per-job telemetry and worker "
+                           "heartbeats; with --results-dir the scheduler "
+                           "publishes a live progress file 'repro top' "
+                           "can follow. Results stay byte-identical")
+    camp.add_argument("--metrics", default=None, metavar="FILE",
+                      help="implies --telemetry; additionally write the "
+                           "run's merged metrics (counters, histograms, "
+                           "spans, throughput) to FILE as canonical JSON")
+
+    top = sub.add_parser(
+        "top",
+        help="live view of a running campaign matrix (follows the "
+             "telemetry file a 'campaign --telemetry --results-dir' run "
+             "publishes)")
+    top.add_argument("results_dir",
+                     help="the campaign's --results-dir (or a direct path "
+                          "to its live telemetry file)")
+    top.add_argument("--interval", type=float, default=1.0,
+                     metavar="SECONDS",
+                     help="refresh interval (default: 1s)")
+    top.add_argument("--once", action="store_true",
+                     help="render one frame and exit (no refresh loop)")
 
     replay = sub.add_parser(
         "replay",
@@ -230,17 +275,25 @@ def _findings_table(findings) -> str:
         rows, title="findings")
 
 
+def _write_metrics_file(path, data: dict) -> None:
+    """Persist a metrics snapshot as canonical JSON."""
+    from repro.engine.checkpoint import canonical_json
+    with open(path, "w") as handle:
+        handle.write(canonical_json(data))
+    log.info(f"metrics written to {path}")
+
+
 def cmd_fuzz(args) -> int:
     from repro.orchestrator.store import CheckpointSession
 
     if args.checkpoint_every is not None and args.checkpoint_every < 1:
-        print("error: --checkpoint-every must be >= 1")
+        log.error("error: --checkpoint-every must be >= 1")
         return 2
     if (args.checkpoint_file is not None and args.checkpoint_every is None
             and not args.resume):
-        print("error: --checkpoint-file does nothing on its own; add "
-              "--checkpoint-every N (write checkpoints) or --resume "
-              "(read one)")
+        log.error("error: --checkpoint-file does nothing on its own; add "
+                  "--checkpoint-every N (write checkpoints) or --resume "
+                  "(read one)")
         return 2
 
     artifact = _load(args)
@@ -248,7 +301,7 @@ def cmd_fuzz(args) -> int:
     try:
         bug_classes = _parse_oracles(args.oracles)
     except ValueError as exc:
-        print(f"error: --oracles: {exc}")
+        log.error(f"error: --oracles: {exc}")
         return 2
     if bug_classes is not None:
         overrides["bug_classes"] = bug_classes
@@ -270,34 +323,42 @@ def cmd_fuzz(args) -> int:
             # the file holds some *other* campaign's resumable state
             # (different source/contract/config/seed); our first emitted
             # checkpoint would destroy it
-            print(f"error: {checkpoint_path} belongs to a different "
-                  f"campaign; refusing to overwrite it — pass another "
-                  f"--checkpoint-file or delete it first")
+            log.error(f"error: {checkpoint_path} belongs to a different "
+                      f"campaign; refusing to overwrite it — pass another "
+                      f"--checkpoint-file or delete it first")
             return 2
         if args.resume:
             if checkpoint is not None:
                 fuzzer = Fuzzer.resume(checkpoint, artifact=artifact)
-                print(f"resumed from {session.path} "
-                      f"at execution {fuzzer.executions}")
+                log.info(f"resumed from {session.path} "
+                         f"at execution {fuzzer.executions}")
             else:
-                print(f"no matching checkpoint at {session.path}; "
-                      f"starting fresh")
+                log.info(f"no matching checkpoint at {session.path}; "
+                         f"starting fresh")
     if fuzzer is None:
         fuzzer = Fuzzer(artifact, config)
 
-    result = fuzzer.run(**(session.run_kwargs() if session else {}))
+    run_kwargs = session.run_kwargs() if session else {}
+    if args.metrics:
+        from repro.telemetry.progress import TelemetrySession
+        with TelemetrySession() as telemetry:
+            result = fuzzer.run(**run_kwargs)
+    else:
+        result = fuzzer.run(**run_kwargs)
     if session is not None:
         session.complete()
 
-    print(f"{result.fuzzer} on {result.contract}: "
-          f"{result.coverage:.1%} branch coverage, "
-          f"{result.iterations} executions, "
-          f"{result.transactions} transactions, "
-          f"{result.wall_time:.2f}s")
+    log.info(f"{result.fuzzer} on {result.contract}: "
+             f"{result.coverage:.1%} branch coverage, "
+             f"{result.iterations} executions, "
+             f"{result.transactions} transactions, "
+             f"{result.wall_time:.2f}s")
     if result.findings:
-        print(_findings_table(result.findings))
+        log.info(_findings_table(result.findings))
     else:
-        print("no findings")
+        log.info("no findings")
+    if args.metrics:
+        _write_metrics_file(args.metrics, telemetry.delta or {})
     return 0
 
 
@@ -349,7 +410,7 @@ def cmd_campaign(args) -> int:
     try:
         oracles = _parse_oracles(args.oracles)
     except ValueError as exc:
-        print(f"error: --oracles: {exc}")
+        log.error(f"error: --oracles: {exc}")
         return 2
     contracts = _campaign_contracts(args)
     workers = resolve_workers(args.workers)
@@ -358,34 +419,36 @@ def cmd_campaign(args) -> int:
     else:
         backend = args.backend or backend_for(workers, args.job_timeout)
     if backend == "inline" and args.job_timeout is not None:
-        print("error: the inline backend cannot enforce --job-timeout; "
-              "use --backend pool or spawn")
+        log.error("error: the inline backend cannot enforce "
+                  "--job-timeout; use --backend pool or spawn")
         return 2
     if args.recycle_after is not None and args.recycle_after < 0:
-        print("error: --recycle-after must be >= 1 (0 disables recycling)")
+        log.error("error: --recycle-after must be >= 1 "
+                  "(0 disables recycling)")
         return 2
     if args.recycle_after and backend != "pool":
-        print(f"error: --recycle-after only applies to the pool backend "
-              f"(got {backend})")
+        log.error(f"error: --recycle-after only applies to the pool "
+                  f"backend (got {backend})")
         return 2
     if args.checkpoint_every is not None and args.checkpoint_every < 1:
-        print("error: --checkpoint-every must be >= 1")
+        log.error("error: --checkpoint-every must be >= 1")
         return 2
     if args.checkpoint_every is not None and args.results_dir is None:
-        print("error: --checkpoint-every requires --results-dir "
-              "(checkpoints persist next to the results)")
+        log.error("error: --checkpoint-every requires --results-dir "
+                  "(checkpoints persist next to the results)")
         return 2
     if backend == "inline":
         workers = 1  # inline runs serially whatever --workers says
+    telemetry = bool(args.telemetry or args.metrics)
     # tolerate repeated --fuzzers values (they would collide as job ids)
     args.fuzzers = list(dict.fromkeys(args.fuzzers))
     total = len(contracts) * len(args.fuzzers) * args.trials
-    print(f"campaign matrix: {len(contracts)} contracts x "
-          f"{len(args.fuzzers)} fuzzers x {args.trials} trials = "
-          f"{total} jobs on {workers} worker(s), {backend} backend")
+    log.info(f"campaign matrix: {len(contracts)} contracts x "
+             f"{len(args.fuzzers)} fuzzers x {args.trials} trials = "
+             f"{total} jobs on {workers} worker(s), {backend} backend")
     if total <= 0:
-        print("empty campaign matrix: check --count/--trials and the "
-              "input files")
+        log.error("error: empty campaign matrix: check --count/--trials "
+                  "and the input files")
         return 2
 
     def progress(outcome):
@@ -394,8 +457,14 @@ def cmd_campaign(args) -> int:
                       f"{len(outcome.result.findings)} finding(s)")
         else:
             detail = outcome.error.strip().splitlines()[-1]
-        print(f"  [{outcome.status}] {outcome.job.job_id}: {detail} "
-              f"({outcome.elapsed:.2f}s)")
+            if outcome.heartbeat:
+                # the worker's dying heartbeat: where the campaign was
+                detail += (f" [last seen: stage="
+                           f"{outcome.heartbeat.get('stage') or '-'} "
+                           f"execs={outcome.heartbeat.get('executions', 0)}"
+                           f"]")
+        log.info(f"  [{outcome.status}] {outcome.job.job_id}: {detail} "
+                 f"({outcome.elapsed:.2f}s)")
 
     run = run_matrix(
         contracts, presets=args.fuzzers, trials=args.trials,
@@ -406,47 +475,130 @@ def cmd_campaign(args) -> int:
         workers=workers, results_dir=args.results_dir,
         job_timeout=args.job_timeout, progress=progress,
         backend=backend, recycle_after=args.recycle_after,
-        checkpoint_every=args.checkpoint_every, oracles=oracles)
+        checkpoint_every=args.checkpoint_every, oracles=oracles,
+        telemetry=telemetry)
 
     if run.results_dir is not None:
-        print(f"results dir: {run.results_dir} "
-              f"({run.cached} cached, {run.executed} executed)")
+        log.info(f"results dir: {run.results_dir} "
+                 f"({run.cached} cached, {run.executed} executed)")
     stats = run.stats
-    if run.executed and (stats.get("compile_cache_hits", 0)
-                         or stats.get("compile_cache_misses", 0)):
-        line = (f"compile cache: {stats['compile_cache_hits']} hit(s), "
-                f"{stats['compile_cache_misses']} miss(es)")
-        if stats.get("workers_recycled"):
-            line += f"; {stats['workers_recycled']} worker(s) recycled"
-        print(line)
-    print()
+    if run.executed and (stats.compile_cache_hits
+                         or stats.compile_cache_misses):
+        line = (f"compile cache: {stats.compile_cache_hits} hit(s), "
+                f"{stats.compile_cache_misses} miss(es)")
+        if stats.workers_recycled:
+            line += f"; {stats.workers_recycled} worker(s) recycled"
+        log.info(line)
+    if telemetry and run.executed:
+        log.info(f"throughput: {stats.execs_per_sec:.1f} execs/s, "
+                 f"{stats.txs_per_sec:.1f} txs/s over {run.executed} "
+                 f"fresh job(s)")
+    log.info("")
 
     summaries = run.summaries()
     if summaries:
         headers, rows = matrix_table(summaries)
-        print(format_table(headers, rows,
-                           title="campaign matrix - per-cell aggregate over "
-                                 "trials"))
-        print()
-        print(format_percentage_bars(
+        log.info(format_table(headers, rows,
+                              title="campaign matrix - per-cell aggregate "
+                                    "over trials"))
+        log.info("")
+        log.info(format_percentage_bars(
             fuzzer_coverage_bars(summaries),
             title="mean branch coverage per fuzzer"))
     failures = run.errors + run.timeouts
     if failures:
-        print()
+        log.info("")
         rows = [[o.job.job_id, o.status,
                  o.error.strip().splitlines()[-1][:70]] for o in failures]
-        print(format_table(["job", "status", "detail"], rows,
-                           title="failed jobs (retried on next run)"))
+        log.info(format_table(["job", "status", "detail"], rows,
+                              title="failed jobs (retried on next run)"))
+    if args.metrics:
+        _write_metrics_file(args.metrics, run.stats.to_wire())
     # nonzero whenever any cell failed, so scripts/CI never mistake a
     # partially-failed campaign for a clean one
     return 0 if summaries and not failures else 1
 
 
+def _render_top_frame(record: dict) -> None:
+    """One frame of the live matrix view."""
+    settled = record.get("settled", 0)
+    total = record.get("total", 0)
+    cached = record.get("cached", 0)
+    state = "done" if record.get("done") else "running"
+    log.info(f"campaign {state}: {settled}/{total} job(s) settled "
+             f"({cached} cached), {record.get('elapsed_s', 0.0):.0f}s "
+             f"elapsed")
+    in_flight = record.get("in_flight") or {}
+    if in_flight:
+        rows = []
+        for job_id, snap in sorted(in_flight.items()):
+            budget = snap.get("budget_remaining") or {}
+            rows.append([
+                job_id,
+                snap.get("worker", "-"),
+                snap.get("stage") or "-",
+                snap.get("executions", 0),
+                f"{snap.get('execs_per_sec', 0.0):.0f}/s",
+                f"{snap.get('coverage', 0.0):.1%}",
+                snap.get("queue_depth", 0),
+                snap.get("findings", 0),
+                ",".join(f"{k}={v}" for k, v in sorted(budget.items()))
+                or "-",
+            ])
+        log.info(format_table(
+            ["job", "worker", "stage", "execs", "rate", "cov", "queue",
+             "findings", "budget left"],
+            rows, title="in flight"))
+    stats = record.get("stats")
+    if stats:
+        log.info(f"totals: {stats.get('executions', 0)} executions, "
+                 f"{stats.get('transactions', 0)} transactions, "
+                 f"{stats.get('execs_per_sec', 0.0):.1f} execs/s, "
+                 f"compile cache hit rate "
+                 f"{stats.get('cache_hit_rate', 0.0):.0%}")
+
+
+def cmd_top(args) -> int:
+    import json
+    import time
+    from pathlib import Path
+    from repro.orchestrator.store import LIVE_TELEMETRY_NAME
+
+    path = Path(args.results_dir)
+    if path.is_dir():
+        path = path / LIVE_TELEMETRY_NAME
+    interval = max(0.1, float(args.interval))
+    waiting_logged = False
+    while True:
+        record = None
+        try:
+            record = json.loads(path.read_text())
+        except OSError:
+            if args.once:
+                log.error(f"error: no live telemetry at {path} (start the "
+                          f"campaign with --telemetry --results-dir, or "
+                          f"wait for its first heartbeat)")
+                return 2
+            if not waiting_logged:
+                log.info(f"waiting for {path} ...")
+                waiting_logged = True
+        except ValueError:
+            pass  # replaced mid-read by a concurrent writer: retry
+        if record is not None:
+            if sys.stdout.isatty() and not args.once:  # pragma: no cover
+                sys.stdout.write("\x1b[2J\x1b[H")
+            _render_top_frame(record)
+            if record.get("done"):
+                return 0
+        if args.once:
+            return 0
+        time.sleep(interval)
+
+
 def _replay_records(paths) -> list:
     """(path, record) pairs from record files and results directories."""
     import json
-    from repro.orchestrator.store import CHECKPOINT_SUFFIX
+    from repro.orchestrator.store import CHECKPOINT_SUFFIX, TELEMETRY_SUFFIX
     from pathlib import Path
 
     records = []
@@ -454,7 +606,8 @@ def _replay_records(paths) -> list:
         path = Path(raw)
         if path.is_dir():
             files = sorted(p for p in path.glob("*.json")
-                           if not p.name.endswith(CHECKPOINT_SUFFIX))
+                           if not p.name.endswith(CHECKPOINT_SUFFIX)
+                           and not p.name.endswith(TELEMETRY_SUFFIX))
         else:
             files = [path]
         for file in files:
@@ -479,10 +632,10 @@ def cmd_replay(args) -> int:
     try:
         records = _replay_records(args.paths)
     except ValueError as exc:
-        print(f"error: {exc}")
+        log.error(f"error: {exc}")
         return 2
     if not records:
-        print("no result records found")
+        log.error("error: no result records found")
         return 2
 
     rows = []
@@ -502,37 +655,37 @@ def cmd_replay(args) -> int:
             rows.append([job_id, finding.bug_class.value,
                          finding.pc, len(finding.witness),
                          outcome.status])
-    print(format_table(
+    log.info(format_table(
         ["job", "class", "pc", "witness txs", "status"], rows,
         title="witness replay"))
-    print(f"\n{total - failed}/{total} findings re-triggered"
-          if total else "\nno findings to replay")
+    log.info(f"\n{total - failed}/{total} findings re-triggered"
+             if total else "\nno findings to replay")
     return 0 if failed == 0 else 1
 
 
 def cmd_compile(args) -> int:
     artifact = _load(args)
-    print(f"contract {artifact.name}")
-    print(f"  runtime: {len(artifact.runtime_code)} bytes, "
-          f"{artifact.instruction_count} instructions, "
-          f"{len(artifact.branch_info)} branches")
-    print(f"  init   : {len(artifact.init_code)} bytes")
-    print("  storage layout:")
+    log.info(f"contract {artifact.name}")
+    log.info(f"  runtime: {len(artifact.runtime_code)} bytes, "
+             f"{artifact.instruction_count} instructions, "
+             f"{len(artifact.branch_info)} branches")
+    log.info(f"  init   : {len(artifact.init_code)} bytes")
+    log.info("  storage layout:")
     for name, slot in sorted(artifact.layout.slots.items(),
                              key=lambda kv: kv[1]):
-        print(f"    slot {slot}: {name} "
-              f"({artifact.layout.types[name]})")
-    print("  ABI:")
+        log.info(f"    slot {slot}: {name} "
+                 f"({artifact.layout.types[name]})")
+    log.info("  ABI:")
     for fn in artifact.abi.functions:
         payable = " payable" if fn.payable else ""
-        print(f"    {fn.signature}{payable} "
-              f"selector={fn.selector:#010x}")
+        log.info(f"    {fn.signature}{payable} "
+                 f"selector={fn.selector:#010x}")
     return 0
 
 
 def cmd_disasm(args) -> int:
     artifact = _load(args)
-    print(format_disassembly(artifact.runtime_code))
+    log.info(format_disassembly(artifact.runtime_code))
     return 0
 
 
@@ -546,12 +699,12 @@ def cmd_analyze(args) -> int:
                      ",".join(sorted(df.writes)) or "-",
                      ",".join(sorted(df.branch_reads)) or "-",
                      ",".join(sorted(df.raw_self_deps)) or "-"])
-    print(format_table(
+    log.info(format_table(
         ["function", "reads", "writes", "branch reads", "RAW self-deps"],
         rows, title=f"data-flow analysis of {artifact.name}"))
-    print()
-    print("write→read edges:", dataflow.write_read_edges())
-    print("repeat candidates:", sorted(dataflow.repeat_candidates()))
+    log.info("")
+    log.info(f"write→read edges: {dataflow.write_read_edges()}")
+    log.info(f"repeat candidates: {sorted(dataflow.repeat_candidates())}")
     return 0
 
 
@@ -569,8 +722,8 @@ def cmd_scan(args) -> int:
             verdict = ",".join(sorted(bc.value for bc in result.findings)) \
                 or "clean"
         rows.append([tool.name, verdict, result.paths_explored])
-    print(format_table(["tool", "verdict", "paths"], rows,
-                       title=f"static scan of {artifact.name}"))
+    log.info(format_table(["tool", "verdict", "paths"], rows,
+                          title=f"static scan of {artifact.name}"))
     return 0
 
 
@@ -586,16 +739,18 @@ def cmd_corpus(args) -> int:
             contract.instruction_count,
         ])
         if args.show_source:
-            print(contract.source)
-            print()
-    print(format_table(["name", "size", "annotated bugs", "instructions"],
-                       rows, title=f"{args.dataset.upper()} sample"))
+            log.info(contract.source)
+            log.info("")
+    log.info(format_table(
+        ["name", "size", "annotated bugs", "instructions"],
+        rows, title=f"{args.dataset.upper()} sample"))
     return 0
 
 
 _COMMANDS = {
     "fuzz": cmd_fuzz,
     "campaign": cmd_campaign,
+    "top": cmd_top,
     "replay": cmd_replay,
     "compile": cmd_compile,
     "disasm": cmd_disasm,
@@ -607,6 +762,13 @@ _COMMANDS = {
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        log.configure(args.log_level, quiet=args.quiet,
+                      verbose=args.verbose)
+    except ValueError as exc:
+        log.configure()
+        log.error(f"error: {exc}")
+        return 2
     return _COMMANDS[args.command](args)
 
 

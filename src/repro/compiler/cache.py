@@ -21,6 +21,14 @@ import hashlib
 from collections import OrderedDict
 
 from repro.compiler.codegen import compile_source
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.spans import span as _span
+
+#: telemetry mirrors of the cache counters plus a wall-time span over the
+#: miss-path compile — no-op singletons unless telemetry is enabled
+_T_HITS = _metrics.counter("compile.cache.hits")
+_T_MISSES = _metrics.counter("compile.cache.misses")
+_S_COMPILE = _span("compile.compile")
 
 #: default entry budget; artifacts are small (KBs), so this is generous
 DEFAULT_MAXSIZE = 64
@@ -47,14 +55,17 @@ class CompileCache:
             artifact = self._entries[key]
         except KeyError:
             self.misses += 1
+            _T_MISSES.inc()
             # compile outside the cache mutation: a compile error must not
             # leave a half-inserted entry behind
-            artifact = compile_source(source, contract_name)
+            with _S_COMPILE:
+                artifact = compile_source(source, contract_name)
             self._entries[key] = artifact
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
             return artifact
         self.hits += 1
+        _T_HITS.inc()
         self._entries.move_to_end(key)
         return artifact
 

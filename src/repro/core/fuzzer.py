@@ -32,6 +32,7 @@ byte-exact determinism guarantee (see :mod:`repro.engine.checkpoint`).
 from __future__ import annotations
 
 import random
+from time import perf_counter as _perf_counter
 
 from repro.analysis.dataflow import analyze_contract
 from repro.analysis.distance import distances_from_trace
@@ -66,6 +67,40 @@ from repro.evm.trace import EV_BRANCH, ExecutionTrace
 from repro.oracles.base import BugClass, FindingCollector, OracleContext
 from repro.oracles.bus import OracleBus
 from repro.oracles.registry import all_oracles
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.progress import HEARTBEAT as _HEARTBEAT
+from repro.telemetry.spans import span as _span
+
+#: engine-pipeline telemetry: per-stage wall-time spans (these also feed
+#: the ``stage`` field heartbeats sample) plus iteration-level counters.
+#: Everything here is a no-op singleton while telemetry is disabled.
+_T_EXECUTIONS = _metrics.counter("engine.executions")
+_T_TRANSACTIONS = _metrics.counter("engine.transactions")
+_T_SEQ_LEN = _metrics.histogram("engine.sequence_length",
+                                (1, 2, 4, 8, 16, 32))
+_T_EXEC_STEPS = _metrics.histogram(
+    "engine.steps_per_execution",
+    (300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000))
+_S_SELECTION = _span("engine.selection", stage=True)
+_S_MUTATION = _span("engine.mutation", stage=True)
+_S_EXECUTION = _span("engine.execution", stage=True)
+_S_RETENTION = _span("engine.retention", stage=True)
+
+#: oracle dispatch runs once per *transaction* — too hot even for a live
+#: span's enter/exit.  It times itself with raw perf_counter calls into
+#: plain accumulators (the same cost the disabled path would pay for a
+#: no-op context manager) and a snapshot-time collector mirrors the
+#: totals into the ``engine.oracle_dispatch`` span.
+_S_ORACLES = _span("engine.oracle_dispatch")
+_oracle_count = 0
+_oracle_seconds = 0.0
+
+
+def _collect_oracle_span() -> None:
+    _S_ORACLES.set_totals(_oracle_count, _oracle_seconds)
+
+
+_metrics.register_collector(_collect_oracle_span)
 
 #: fixed account addresses used by every campaign
 DEPLOYER = 0x00D0_0001
@@ -236,36 +271,48 @@ class Fuzzer:
         longest memoized transaction prefix is skipped instead: its cached
         chain state is forked and only the suffix replays.
         """
-        start_at = 0
-        chain = None
-        merged = None
-        if self.state_cache is not None:
-            start_at, chain, merged = \
-                self.state_cache.longest_prefix(seed.calls)
-        if chain is None:
-            chain = self.base_chain.reset_to_base()
-            merged = ExecutionTrace()
-
-        # skipped state-cache prefixes still belong in witnesses: they set
-        # up the state the suffix's findings depend on
-        self.bus.begin_sequence(seed.calls, start_at)
-        for index in range(start_at, len(seed.calls)):
-            call = seed.calls[index]
-            data = self._encode_call(call)
-            if self.config.attacker_reentry:
-                self.reentrant_agent.arm(data)
-            tx = Transaction(
-                sender=call.sender, to=self.address, value=call.value,
-                data=data, gas=self.config.tx_gas, function=call.function)
-            # subscribed oracles stream the trace events of this
-            # transaction while it executes; settle their findings now
-            receipt = chain.apply(tx)
-            self.budget.note_transaction()
-            merged.merge(receipt.trace)
-            self.collector.extend(self.bus.end_transaction(receipt))
+        with _S_EXECUTION:
+            start_at = 0
+            chain = None
+            merged = None
             if self.state_cache is not None:
-                self.state_cache.insert(seed.calls, index + 1, chain, merged)
-        self.budget.note_execution()
+                start_at, chain, merged = \
+                    self.state_cache.longest_prefix(seed.calls)
+            if chain is None:
+                chain = self.base_chain.reset_to_base()
+                merged = ExecutionTrace()
+
+            # skipped state-cache prefixes still belong in witnesses: they
+            # set up the state the suffix's findings depend on
+            self.bus.begin_sequence(seed.calls, start_at)
+            for index in range(start_at, len(seed.calls)):
+                call = seed.calls[index]
+                data = self._encode_call(call)
+                if self.config.attacker_reentry:
+                    self.reentrant_agent.arm(data)
+                tx = Transaction(
+                    sender=call.sender, to=self.address, value=call.value,
+                    data=data, gas=self.config.tx_gas,
+                    function=call.function)
+                # subscribed oracles stream the trace events of this
+                # transaction while it executes; settle their findings now
+                receipt = chain.apply(tx)
+                self.budget.note_transaction()
+                merged.merge(receipt.trace)
+                t0 = _perf_counter()
+                self.collector.extend(self.bus.end_transaction(receipt))
+                global _oracle_count, _oracle_seconds
+                _oracle_count += 1
+                _oracle_seconds += _perf_counter() - t0
+                if self.state_cache is not None:
+                    self.state_cache.insert(seed.calls, index + 1, chain,
+                                            merged)
+            self.budget.note_execution()
+            _T_EXECUTIONS.inc()
+            _T_TRANSACTIONS.add(len(seed.calls) - start_at)
+            _T_SEQ_LEN.observe(len(seed.calls))
+            _T_EXEC_STEPS.observe(merged.steps)
+            _HEARTBEAT.tick(self)
         return merged
 
     def _run_probe(self, variant: Seed) -> Seed:
@@ -273,7 +320,8 @@ class Fuzzer:
         execute → feedback → retain cycle (the masked stage's hook)."""
         trace = self._execute(variant)
         new_edges = self._feedback(variant, trace)
-        self.retention.retain(variant, new_edges)
+        with _S_RETENTION:
+            self.retention.retain(variant, new_edges)
         return variant
 
     # -- feedback ------------------------------------------------------------------------
@@ -360,16 +408,19 @@ class Fuzzer:
         # main loop
         while not self.budget.exhausted() and len(self.queue):
             if state.current_index is None:
-                state.current_index = self.selector.select()
+                with _S_SELECTION:
+                    state.current_index = self.selector.select()
                 seed = self.queue.seeds[state.current_index]
                 state.energy = self.scheduler.energy_for(seed)
             seed = self.queue.seeds[state.current_index]
             while state.energy > 0 and not self.budget.exhausted():
                 state.energy -= 1
-                child = self.pipeline.mutate(seed)
+                with _S_MUTATION:
+                    child = self.pipeline.mutate(seed)
                 trace = self._execute(child)
                 new_edges = self._feedback(child, trace)
-                self.retention.retain(child, new_edges)
+                with _S_RETENTION:
+                    self.retention.retain(child, new_edges)
                 if new_edges:
                     state.energy = min(state.energy + 1, config.max_energy)
                 self._maybe_checkpoint(checkpoint_every, checkpoint_sink)

@@ -41,6 +41,22 @@ from collections import OrderedDict
 from repro.evm import opcodes
 from repro.evm.handlers import SIMPLE_HANDLERS, make_unhandled
 from repro.evm.opcodes import Op
+from repro.telemetry import metrics as _metrics
+
+#: telemetry mirrors of the hit/miss counters.  analyze_code runs once
+#: per *frame* — far too hot for even a no-op instrument call — so the
+#: mirrors are filled by a snapshot-time collector from the module's own
+#: ``_hits``/``_misses`` ints instead of being incremented per call.
+_T_HITS = _metrics.counter("evm.analysis_cache.hits")
+_T_MISSES = _metrics.counter("evm.analysis_cache.misses")
+
+
+def _collect_cache_counters() -> None:
+    _T_HITS.set_total(_hits)
+    _T_MISSES.set_total(_misses)
+
+
+_metrics.register_collector(_collect_cache_counters)
 
 #: dispatch-entry kinds, ordered roughly by dynamic frequency.  CALL-family
 #: opcodes get their own kind because they recurse into nested frames: the
@@ -154,6 +170,10 @@ def analyze_code(code: bytes) -> CodeAnalysis:
 def cache_stats() -> dict:
     """Hit/miss counters and current size (tests and benches)."""
     return {"hits": _hits, "misses": _misses, "entries": len(_cache)}
+
+
+#: heartbeat-facing name (see :func:`repro.telemetry.progress.snapshot_of`)
+analysis_cache_stats = cache_stats
 
 
 def clear_cache() -> None:

@@ -63,6 +63,31 @@ from repro.evm.trace import (
     is_call_result_tag,
 )
 
+from repro.telemetry import metrics as _metrics
+
+#: per-transaction telemetry.  The transaction boundary is the hottest
+#: instrumented point in the system (tx bodies can be a few microseconds),
+#: so it self-counts with plain module ints — no cheaper operation exists
+#: in CPython, enabled or not — and a snapshot-time collector mirrors the
+#: totals into the registry's counters.  Only the rare revert path touches
+#: a real instrument.
+_T_TXS = _metrics.counter("evm.transactions")
+_T_STEPS = _metrics.counter("evm.steps")
+_T_REVERTS = _metrics.counter("evm.reverted_transactions")
+
+_txs = 0
+_steps_total = 0
+_reverts = 0
+
+
+def _collect_tx_counters() -> None:
+    _T_TXS.set_total(_txs)
+    _T_STEPS.set_total(_steps_total)
+    _T_REVERTS.set_total(_reverts)
+
+
+_metrics.register_collector(_collect_tx_counters)
+
 WORD = 1 << 256
 CALL_DEPTH_LIMIT = 1024
 #: Gas stipend forwarded by ``transfer``/``send``; the reentrancy oracle keys
@@ -190,6 +215,11 @@ class Machine:
         else:
             self.world.commit(snapshot)
         self.trace.steps = self._steps
+        global _txs, _steps_total, _reverts
+        _txs += 1
+        _steps_total += self._steps
+        if not result.success:
+            _reverts += 1
         return result
 
     # -- internal call handling ----------------------------------------------

@@ -55,7 +55,10 @@ def create_backend(name: str | None = None, *, workers: int | None = None,
                    recycle_after: int | None = None,
                    sweep_interval: float | None = None,
                    checkpoint_every: int | None = None,
-                   checkpoint_dir=None) -> ExecutionBackend:
+                   checkpoint_dir=None,
+                   telemetry: bool = False,
+                   heartbeat_every: float | None = None,
+                   heartbeat=None) -> ExecutionBackend:
     """Instantiate a backend by name (``None`` = auto, see
     :func:`backend_for`)."""
     if name is None:
@@ -68,7 +71,9 @@ def create_backend(name: str | None = None, *, workers: int | None = None,
     return cls(workers=workers, job_timeout=job_timeout,
                recycle_after=recycle_after, sweep_interval=sweep_interval,
                checkpoint_every=checkpoint_every,
-               checkpoint_dir=checkpoint_dir)
+               checkpoint_dir=checkpoint_dir,
+               telemetry=telemetry, heartbeat_every=heartbeat_every,
+               heartbeat=heartbeat)
 
 
 def run_jobs(jobs, workers: int | None = None,
@@ -76,7 +81,8 @@ def run_jobs(jobs, workers: int | None = None,
              backend: str | None = None, recycle_after: int | None = None,
              sweep_interval: float | None = None,
              checkpoint_every: int | None = None,
-             checkpoint_dir=None) -> list:
+             checkpoint_dir=None, telemetry: bool = False,
+             heartbeat_every: float | None = None, heartbeat=None) -> list:
     """Execute every job; returns :class:`JobOutcome` per job, in job
     order (one-call convenience over :func:`create_backend`)."""
     engine = create_backend(backend, workers=workers,
@@ -84,7 +90,10 @@ def run_jobs(jobs, workers: int | None = None,
                             recycle_after=recycle_after,
                             sweep_interval=sweep_interval,
                             checkpoint_every=checkpoint_every,
-                            checkpoint_dir=checkpoint_dir)
+                            checkpoint_dir=checkpoint_dir,
+                            telemetry=telemetry,
+                            heartbeat_every=heartbeat_every,
+                            heartbeat=heartbeat)
     return engine.run(jobs, progress=progress)
 
 

@@ -24,6 +24,11 @@ import traceback
 from repro.compiler.cache import compile_cache_stats, compile_cached
 from repro.core.fuzzer import Fuzzer
 from repro.orchestrator.jobs import CampaignJob, JobOutcome
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.progress import (
+    DEFAULT_HEARTBEAT_EVERY,
+    TelemetrySession,
+)
 
 #: default scheduler sweep interval (seconds): the upper bound on how long
 #: the scheduler blocks waiting for a result before checking timeouts and
@@ -95,19 +100,49 @@ def execute_with_cache_delta(job: CampaignJob,
                      "cache_misses": after["misses"] - before["misses"]}
 
 
-def execute_to_wire(job_data: dict) -> dict:
+def heartbeat_wire(snapshot) -> dict:
+    """The results-queue record for one worker heartbeat.  Tagged with
+    ``kind`` so :meth:`SchedulerCore._receive` can intercept it before
+    outcome settlement (result records carry no ``kind``)."""
+    return {"kind": "heartbeat", "job_id": snapshot.job_id,
+            "worker": snapshot.worker, "snapshot": snapshot.to_wire()}
+
+
+def execute_to_wire(job_data: dict, heartbeat_sink=None,
+                    worker: int | None = None) -> dict:
     """Worker-side helper: execute a serialized job and build its wire
     record, annotated with the compile-cache delta.
 
-    ``job_data`` may carry a ``_checkpoint`` transport envelope
-    (``{"every": N, "path": str}``) — scheduler-side state that is not
-    part of the job's identity (it never enters the fingerprint)."""
+    ``job_data`` may carry transport envelopes — scheduler-side state
+    that is not part of the job's identity (neither enters the
+    fingerprint):
+
+    * ``_checkpoint`` (``{"every": N, "path": str}``) — mid-campaign
+      checkpointing;
+    * ``_telemetry`` (``{"heartbeat_every": s}``) — run the job inside a
+      :class:`~repro.telemetry.progress.TelemetrySession`: the wire
+      record gains the job's registry delta under ``telemetry``, and
+      ``heartbeat_sink(snapshot)`` receives periodic progress snapshots
+      while the campaign runs.
+    """
     job_data = dict(job_data)
     transport = job_data.pop("_checkpoint", None) or {}
-    outcome, delta = execute_with_cache_delta(
-        CampaignJob.from_dict(job_data),
-        checkpoint_every=transport.get("every"),
-        checkpoint_path=transport.get("path"))
+    telemetry = job_data.pop("_telemetry", None)
+    job = CampaignJob.from_dict(job_data)
+    if telemetry is None:
+        outcome, delta = execute_with_cache_delta(
+            job, checkpoint_every=transport.get("every"),
+            checkpoint_path=transport.get("path"))
+    else:
+        with TelemetrySession(
+                job.job_id, heartbeat_sink=heartbeat_sink,
+                heartbeat_every=telemetry.get("heartbeat_every",
+                                              DEFAULT_HEARTBEAT_EVERY),
+                worker=worker) as session:
+            outcome, delta = execute_with_cache_delta(
+                job, checkpoint_every=transport.get("every"),
+                checkpoint_path=transport.get("path"))
+        outcome.telemetry = session.delta
     wire = outcome.to_wire()
     wire.update(delta)
     return wire
@@ -130,8 +165,22 @@ class ExecutionBackend:
                  recycle_after: int | None = None,
                  sweep_interval: float | None = None,
                  checkpoint_every: int | None = None,
-                 checkpoint_dir=None) -> None:
+                 checkpoint_dir=None,
+                 telemetry: bool = False,
+                 heartbeat_every: float | None = None,
+                 heartbeat=None) -> None:
         self.workers = resolve_workers(workers)
+        #: collect per-job telemetry deltas + worker heartbeats this run
+        self.telemetry = bool(telemetry)
+        self.heartbeat_every = (DEFAULT_HEARTBEAT_EVERY
+                                if heartbeat_every is None
+                                else max(0.0, float(heartbeat_every)))
+        #: optional ``callback(heartbeat_wire_dict)`` invoked scheduler-side
+        #: as worker heartbeats arrive (drives the live ``repro top`` file)
+        self.heartbeat = heartbeat
+        #: merged telemetry across every fresh job of the last run (a
+        #: registry snapshot dict), None when telemetry was off
+        self.telemetry_totals: dict | None = None
         self.job_timeout = None if job_timeout is None else float(job_timeout)
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -177,6 +226,7 @@ class ExecutionBackend:
         for counter in ("compile_cache_hits", "compile_cache_misses",
                         "workers_recycled", "workers_killed"):
             self.stats[counter] = 0  # stats describe one run, not a life
+        self.telemetry_totals = None
         return self._run(jobs, progress)
 
     def _run(self, jobs, progress) -> list:
@@ -192,20 +242,40 @@ class ExecutionBackend:
                             f"{job.job_id}{CHECKPOINT_SUFFIX}")
         return {"every": int(self.checkpoint_every), "path": path}
 
+    def telemetry_transport(self) -> dict | None:
+        """The telemetry envelope dispatched with every job (``None``
+        when telemetry collection is off for this run)."""
+        if not self.telemetry:
+            return None
+        return {"heartbeat_every": self.heartbeat_every}
+
     def job_payload(self, job: CampaignJob) -> dict:
         """The wire dict dispatched to a worker for ``job``: its
-        serialized form plus the checkpoint transport envelope when
-        mid-campaign checkpointing is configured."""
+        serialized form plus the transport envelopes (checkpointing,
+        telemetry) configured for this run."""
         data = job.to_dict()
         transport = self.checkpoint_transport(job)
         if transport is not None:
             data["_checkpoint"] = transport
+        telemetry = self.telemetry_transport()
+        if telemetry is not None:
+            data["_telemetry"] = telemetry
         return data
 
     def _absorb_cache_stats(self, wire: dict) -> None:
         self.stats["compile_cache_hits"] += int(wire.get("cache_hits") or 0)
         self.stats["compile_cache_misses"] += \
             int(wire.get("cache_misses") or 0)
+
+    def _absorb_telemetry(self, delta: dict | None) -> None:
+        """Fold one job's telemetry delta into the run totals (snapshot
+        merge is associative + commutative, so settlement order does not
+        matter)."""
+        if not delta:
+            return
+        self.telemetry_totals = (
+            delta if self.telemetry_totals is None
+            else _metrics.merge_snapshots(self.telemetry_totals, delta))
 
 
 class SchedulerCore:
@@ -221,7 +291,8 @@ class SchedulerCore:
     """
 
     def __init__(self, jobs, progress=None,
-                 sweep_interval: float = DEFAULT_SWEEP) -> None:
+                 sweep_interval: float = DEFAULT_SWEEP,
+                 on_heartbeat=None) -> None:
         self.jobs = list(jobs)
         self.by_id = {job.job_id: job for job in self.jobs}
         self.progress = progress
@@ -229,6 +300,11 @@ class SchedulerCore:
         self.ctx = multiprocessing.get_context("spawn")
         self.results_queue = self.ctx.Queue()
         self.settled: dict = {}  # job_id -> JobOutcome
+        #: latest progress snapshot per in-flight job (wire dicts); a
+        #: job's entry is attached to its outcome when the worker dies or
+        #: overruns — the post-mortem shows where the campaign was
+        self.heartbeats: dict = {}
+        self.on_heartbeat = on_heartbeat
 
     def settle(self, outcome: JobOutcome) -> None:
         if outcome.job.job_id in self.settled:
@@ -246,7 +322,8 @@ class SchedulerCore:
         self.settle(JobOutcome(
             job=self.by_id[job_id], status="timeout",
             error=f"job exceeded {timeout:.1f}s wall-clock timeout",
-            elapsed=time.monotonic() - started))
+            elapsed=time.monotonic() - started,
+            heartbeat=self.heartbeats.get(job_id)))
 
     def settle_dead_worker(self, job_id: str, exitcode, started: float,
                            handler=None, label: str = "worker") -> None:
@@ -264,7 +341,8 @@ class SchedulerCore:
                 job=self.by_id[job_id], status="error",
                 error=f"{label} died with exit code {exitcode} before "
                       f"reporting a result",
-                elapsed=time.monotonic() - started))
+                elapsed=time.monotonic() - started,
+                heartbeat=self.heartbeats.get(job_id)))
 
     def outcomes_in_job_order(self) -> list:
         return [self.settled[job.job_id] for job in self.jobs]
@@ -314,6 +392,15 @@ class SchedulerCore:
 
     def _receive(self, wire, handler) -> None:
         try:
+            if wire.get("kind") == "heartbeat":
+                # progress report, not a result: remember the latest per
+                # job and never let it near settlement
+                job_id = wire.get("job_id")
+                if job_id in self.by_id:
+                    self.heartbeats[job_id] = wire.get("snapshot") or {}
+                    if self.on_heartbeat is not None:
+                        self.on_heartbeat(wire)
+                return
             job = self.by_id[wire["job_id"]]
             outcome = JobOutcome.from_wire(job, wire)
         except Exception:

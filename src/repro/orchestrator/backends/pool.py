@@ -37,6 +37,7 @@ from repro.orchestrator.backends.base import (
     ExecutionBackend,
     SchedulerCore,
     execute_to_wire,
+    heartbeat_wire,
 )
 
 
@@ -45,12 +46,18 @@ def _pool_worker_main(worker_key: int, dispatch_queue,
     """Long-lived child entry point (module-level: spawn picklable).
 
     Pulls serialized jobs until the ``None`` sentinel arrives; the
-    process-local compile cache stays warm across jobs."""
+    process-local compile cache stays warm across jobs.  Heartbeats share
+    the results queue (tagged ``kind="heartbeat"``) and carry the worker
+    key, so the scheduler can show who is doing what."""
+    def sink(snapshot) -> None:
+        results_queue.put(heartbeat_wire(snapshot))
+
     while True:
         job_data = dispatch_queue.get()
         if job_data is None:
             break
-        wire = execute_to_wire(job_data)
+        wire = execute_to_wire(job_data, heartbeat_sink=sink,
+                               worker=worker_key)
         wire["worker"] = worker_key
         results_queue.put(wire)
 
@@ -71,7 +78,8 @@ class PoolBackend(ExecutionBackend):
     name = "pool"
 
     def _run(self, jobs, progress) -> list:
-        core = SchedulerCore(jobs, progress, self.sweep_interval)
+        core = SchedulerCore(jobs, progress, self.sweep_interval,
+                             on_heartbeat=self.heartbeat)
         pending = deque(jobs)
         workers: dict = {}  # key -> _PoolWorker
         keys = itertools.count()
@@ -99,6 +107,7 @@ class PoolBackend(ExecutionBackend):
 
         def on_wire(wire) -> None:
             self._absorb_cache_stats(wire)
+            self._absorb_telemetry(wire.get("telemetry"))
             # match against the live incarnation only: a result racing in
             # from an already-terminated worker must not free anything
             worker = workers.get(wire.get("worker"))

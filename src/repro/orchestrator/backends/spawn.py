@@ -22,24 +22,34 @@ from repro.orchestrator.backends.base import (
     ExecutionBackend,
     SchedulerCore,
     execute_to_wire,
+    heartbeat_wire,
 )
 
 
 def _worker_main(job_data: dict, results_queue) -> None:
-    """Child-process entry point (module-level: spawn picklable)."""
-    results_queue.put(execute_to_wire(job_data))
+    """Child-process entry point (module-level: spawn picklable).
+
+    Heartbeats (when the job carries a ``_telemetry`` envelope) share the
+    results queue; the scheduler tells them apart by their ``kind`` tag.
+    """
+    def sink(snapshot) -> None:
+        results_queue.put(heartbeat_wire(snapshot))
+
+    results_queue.put(execute_to_wire(job_data, heartbeat_sink=sink))
 
 
 class SpawnBackend(ExecutionBackend):
     name = "spawn"
 
     def _run(self, jobs, progress) -> list:
-        core = SchedulerCore(jobs, progress, self.sweep_interval)
+        core = SchedulerCore(jobs, progress, self.sweep_interval,
+                             on_heartbeat=self.heartbeat)
         pending = deque(jobs)
         running: dict = {}  # job_id -> (process, monotonic start)
 
         def on_wire(wire):
             self._absorb_cache_stats(wire)
+            self._absorb_telemetry(wire.get("telemetry"))
 
         try:
             while pending or running:

@@ -126,6 +126,14 @@ class JobOutcome:
     #: wall-clock seconds observed by the scheduler (never persisted:
     #: timing is environment noise, not part of the canonical artifact)
     elapsed: float = 0.0
+    #: per-job telemetry registry delta (a :func:`repro.telemetry.snapshot`
+    #: dict) when the run collected telemetry; never part of the result
+    #: payload or any fingerprint
+    telemetry: dict | None = None
+    #: the job's last worker heartbeat (a ProgressSnapshot wire dict) —
+    #: attached by the scheduler when the worker died or overran, so a
+    #: post-mortem shows where the campaign was (stage, iteration, seed)
+    heartbeat: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -146,6 +154,7 @@ class JobOutcome:
             "result": self.result.to_dict() if self.ok else None,
             "error": self.error,
             "elapsed": self.elapsed,
+            "telemetry": self.telemetry,
         }
 
     @classmethod
@@ -159,6 +168,7 @@ class JobOutcome:
                     if wire["status"] == "ok" else None),
             error=wire["error"],
             elapsed=wire["elapsed"],
+            telemetry=wire.get("telemetry"),
         )
 
 

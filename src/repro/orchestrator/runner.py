@@ -10,12 +10,93 @@ off and a finished one is a pure cache hit.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
+from repro.engine.checkpoint import canonical_json
 from repro.orchestrator import aggregate
 from repro.orchestrator.backends import create_backend
 from repro.orchestrator.jobs import build_matrix
 from repro.orchestrator.store import ResultStore
+
+
+@dataclass
+class RunStats:
+    """Typed run-level statistics for one matrix run.
+
+    Replaces the former untyped ``MatrixRun.stats`` dict; keeps
+    dict-style ``get``/``[]``/``in`` access so existing consumers (bench
+    recorders, tests) read it unchanged.  ``to_wire()`` is the canonical
+    serialization the BENCH_orchestrator.json writers embed — it includes
+    the derived rates (execs/sec, txs/sec, cache hit rate) alongside the
+    raw counters.
+    """
+
+    #: execution backend name the fresh cells ran on
+    backend: str | None = None
+    workers: int = 0
+    compile_cache_hits: int = 0
+    compile_cache_misses: int = 0
+    workers_recycled: int = 0
+    workers_killed: int = 0
+    #: campaign iterations / transactions across the *fresh* (executed)
+    #: cells — cached cells did no work this run
+    executions: int = 0
+    transactions: int = 0
+    #: wall-clock seconds of the whole matrix run
+    elapsed: float = 0.0
+    #: merged telemetry registry snapshot across every fresh job (None
+    #: when the run did not collect telemetry)
+    telemetry: dict | None = None
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.compile_cache_hits + self.compile_cache_misses
+        return self.compile_cache_hits / total if total else 0.0
+
+    @property
+    def execs_per_sec(self) -> float:
+        return self.executions / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def txs_per_sec(self) -> float:
+        return self.transactions / self.elapsed if self.elapsed > 0 else 0.0
+
+    def to_wire(self) -> dict:
+        data = asdict(self)
+        data["cache_hit_rate"] = round(self.cache_hit_rate, 4)
+        data["execs_per_sec"] = round(self.execs_per_sec, 2)
+        data["txs_per_sec"] = round(self.txs_per_sec, 2)
+        return data
+
+    @classmethod
+    def from_backend(cls, engine, executions: int = 0,
+                     transactions: int = 0,
+                     elapsed: float = 0.0) -> "RunStats":
+        known = set(cls.__dataclass_fields__)
+        fields = {k: v for k, v in engine.stats.items() if k in known}
+        return cls(executions=executions, transactions=transactions,
+                   elapsed=elapsed,
+                   telemetry=getattr(engine, "telemetry_totals", None),
+                   **fields)
+
+    # -- dict-style compatibility ------------------------------------------------
+
+    def get(self, key: str, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __getitem__(self, key: str):
+        if key in self.__dataclass_fields__ or key in (
+                "cache_hit_rate", "execs_per_sec", "txs_per_sec"):
+            return getattr(self, key)
+        raise KeyError(key)
+
+    def __contains__(self, key: str) -> bool:
+        return (key in self.__dataclass_fields__
+                or key in ("cache_hit_rate", "execs_per_sec",
+                           "txs_per_sec"))
 
 
 @dataclass
@@ -29,9 +110,9 @@ class MatrixRun:
     results_dir: str | None = None
     #: execution backend name the fresh cells ran on
     backend: str | None = None
-    #: backend run statistics (worker count, compile-cache hits/misses,
-    #: workers recycled/killed); zeros when every cell was cached
-    stats: dict = field(default_factory=dict)
+    #: typed run statistics (worker count, compile-cache hits/misses,
+    #: throughput, merged telemetry); zeros when every cell was cached
+    stats: RunStats = field(default_factory=RunStats)
 
     @property
     def errors(self) -> list:
@@ -59,6 +140,68 @@ class MatrixRun:
         return aggregate.merged_results(self.outcomes)
 
 
+class _LiveProgressWriter:
+    """Publishes the matrix's live progress file for ``repro top``.
+
+    Writes are atomic (tmp + replace, so a reader never sees a torn
+    record) and throttled; heartbeats and settlements update scheduler
+    state that is observational only — a write failure is swallowed
+    because observability must never take the matrix down.
+    """
+
+    MIN_INTERVAL = 0.5
+
+    def __init__(self, path, total: int, cached: int = 0) -> None:
+        self.path = path
+        self.total = total
+        self.cached = cached
+        self.settled = cached
+        self.jobs: dict = {}      # job_id -> latest heartbeat snapshot
+        self.statuses: dict = {}  # job_id -> settled status
+        self._started = time.monotonic()
+        self._last_write = 0.0
+        self._write(force=True)
+
+    def on_heartbeat(self, wire: dict) -> None:
+        job_id = wire.get("job_id")
+        if job_id:
+            self.jobs[job_id] = wire.get("snapshot") or {}
+        self._write()
+
+    def on_settle(self, outcome) -> None:
+        self.settled += 1
+        self.statuses[outcome.job.job_id] = outcome.status
+        self.jobs.pop(outcome.job.job_id, None)  # no longer in flight
+        self._write(force=True)
+
+    def finalize(self, stats: "RunStats") -> None:
+        self._write(force=True, stats=stats)
+
+    def _write(self, force: bool = False, stats=None) -> None:
+        now = time.monotonic()
+        if not force and now - self._last_write < self.MIN_INTERVAL:
+            return
+        self._last_write = now
+        record = {
+            "kind": "matrix_progress",
+            "total": self.total,
+            "settled": self.settled,
+            "cached": self.cached,
+            "elapsed_s": round(now - self._started, 3),
+            "done": stats is not None,
+            "in_flight": self.jobs,
+            "statuses": self.statuses,
+        }
+        if stats is not None:
+            record["stats"] = stats.to_wire()
+        tmp = self.path.with_suffix(".tmp")
+        try:
+            tmp.write_text(canonical_json(record))
+            tmp.replace(self.path)
+        except OSError:
+            pass
+
+
 def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
                overrides: dict | None = None, supported: dict | None = None,
                workers: int | None = None, results_dir=None,
@@ -68,7 +211,10 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
                checkpoint_every: int | None = None,
                time_budget: float | None = None,
                tx_budget: int | None = None,
-               oracles=None) -> MatrixRun:
+               oracles=None,
+               telemetry: bool = False,
+               heartbeat_every: float | None = None,
+               on_heartbeat=None) -> MatrixRun:
     """Run (or resume) a campaign matrix; see module docstring.
 
     ``results_dir=None`` keeps everything in memory (no persistence,
@@ -92,6 +238,14 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
     codes); it folds into each job's config as ``bug_classes``, so the
     restriction participates in result fingerprints and checkpoints.  Use
     ``supported`` instead to model *per-preset* tool capability sets.
+
+    ``telemetry=True`` collects per-job metrics/span deltas (merged into
+    ``MatrixRun.stats.telemetry``, embedded in result records) and turns
+    on worker heartbeats: with a ``results_dir`` the scheduler publishes
+    a throttled live progress file (``live.telemetry.json``) that
+    ``repro top`` follows, and ``on_heartbeat(wire)`` (optional) sees
+    every heartbeat as it arrives.  Telemetry is provably inert — results
+    are byte-identical with it on or off.
     """
     start = time.perf_counter()
     if oracles is not None:
@@ -132,17 +286,32 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
         else:
             pending.append(job)
 
+    live = (_LiveProgressWriter(store.live_telemetry_path(), len(jobs),
+                                cached=len(cached))
+            if telemetry and store is not None else None)
+
+    def heartbeat(wire) -> None:
+        if live is not None:
+            live.on_heartbeat(wire)
+        if on_heartbeat is not None:
+            on_heartbeat(wire)
+
     engine = create_backend(backend, workers=workers,
                             job_timeout=job_timeout,
                             recycle_after=recycle_after,
                             checkpoint_every=checkpoint_every,
                             checkpoint_dir=(None if store is None
-                                            else store.root))
+                                            else store.root),
+                            telemetry=telemetry,
+                            heartbeat_every=heartbeat_every,
+                            heartbeat=(heartbeat if telemetry else None))
     fresh = {}
     if pending:
         def on_settle(outcome):
             if store is not None:
                 store.save(outcome)
+            if live is not None:
+                live.on_settle(outcome)
             if progress is not None:
                 progress(outcome)
 
@@ -151,12 +320,21 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
 
     outcomes = [cached[job.job_id] if job.job_id in cached
                 else fresh[job.job_id] for job in jobs]
+    elapsed = time.perf_counter() - start
+    fresh_ok = [o for o in fresh.values() if o.ok]
+    stats = RunStats.from_backend(
+        engine,
+        executions=sum(o.result.iterations for o in fresh_ok),
+        transactions=sum(o.result.transactions for o in fresh_ok),
+        elapsed=elapsed)
+    if live is not None:
+        live.finalize(stats)
     return MatrixRun(
         outcomes=outcomes,
         cached=len(cached),
         executed=len(fresh),
-        elapsed=time.perf_counter() - start,
+        elapsed=elapsed,
         results_dir=None if results_dir is None else str(results_dir),
         backend=engine.name,
-        stats=dict(engine.stats),
+        stats=stats,
     )

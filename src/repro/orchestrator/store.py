@@ -33,10 +33,15 @@ from pathlib import Path
 from repro.core.campaign import CampaignResult
 from repro.engine.checkpoint import CampaignCheckpoint, canonical_json
 from repro.orchestrator.jobs import CampaignJob, JobOutcome
+from repro.telemetry.spans import span as _span
+
+#: wall time spent serializing + atomically writing campaign checkpoints
+_S_CHECKPOINT_WRITE = _span("checkpoint.write")
 
 __all__ = ["ResultStore", "CheckpointSession", "canonical_json",
            "write_checkpoint_file", "read_checkpoint_file",
-           "clear_checkpoint_file", "CHECKPOINT_SUFFIX"]
+           "clear_checkpoint_file", "CHECKPOINT_SUFFIX",
+           "TELEMETRY_SUFFIX", "LIVE_TELEMETRY_NAME"]
 
 #: Schema history —
 #: 1: job identity + result.
@@ -50,20 +55,27 @@ SCHEMA_VERSION = 2
 #: suffix distinguishing checkpoint files from result records
 CHECKPOINT_SUFFIX = ".checkpoint.json"
 
+#: suffix distinguishing live telemetry files from result records
+TELEMETRY_SUFFIX = ".telemetry.json"
+
+#: the matrix-level live progress file ``repro top`` follows
+LIVE_TELEMETRY_NAME = f"live{TELEMETRY_SUFFIX}"
+
 
 def write_checkpoint_file(path, checkpoint: CampaignCheckpoint,
                           fingerprint: str) -> None:
     """Atomically persist one campaign checkpoint with its owner's
     fingerprint (module-level: workers hold a path, not a store)."""
     path = Path(path)
-    record = {
-        "schema": SCHEMA_VERSION,
-        "fingerprint": fingerprint,
-        "checkpoint": checkpoint.to_dict(),
-    }
-    tmp = path.with_suffix(".tmp")
-    tmp.write_text(canonical_json(record))
-    tmp.replace(path)
+    with _S_CHECKPOINT_WRITE:
+        record = {
+            "schema": SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "checkpoint": checkpoint.to_dict(),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(canonical_json(record))
+        tmp.replace(path)
 
 
 def read_checkpoint_file(path, fingerprint: str) -> CampaignCheckpoint | None:
@@ -157,7 +169,8 @@ class ResultStore:
             result = CampaignResult.from_dict(record["result"])
         except (KeyError, ValueError, TypeError):
             return None
-        return JobOutcome(job=job, status="ok", result=result)
+        return JobOutcome(job=job, status="ok", result=result,
+                          telemetry=record.get("telemetry"))
 
     def save(self, outcome: JobOutcome) -> Path | None:
         """Persist an ``ok`` outcome; no-op for errors and timeouts."""
@@ -185,6 +198,13 @@ class ResultStore:
                 else list(job.supported_bug_classes)),
             "result": result_data,
         }
+        if outcome.telemetry is not None:
+            # observability sidecar: the job's telemetry registry delta.
+            # Deliberately outside "result" and outside the fingerprint —
+            # records with and without it are equally valid caches, and
+            # the campaign's canonical artifact stays byte-identical
+            # whether telemetry ran or not.
+            record["telemetry"] = outcome.telemetry
         path = self.path_for(job)
         tmp = path.with_suffix(".json.tmp")
         tmp.write_text(canonical_json(record))
@@ -193,7 +213,12 @@ class ResultStore:
 
     def completed_ids(self) -> set:
         return {path.stem for path in self.root.glob("*.json")
-                if not path.name.endswith(CHECKPOINT_SUFFIX)}
+                if not path.name.endswith(CHECKPOINT_SUFFIX)
+                and not path.name.endswith(TELEMETRY_SUFFIX)}
+
+    def live_telemetry_path(self) -> Path:
+        """Where the orchestrator publishes live matrix progress."""
+        return self.root / LIVE_TELEMETRY_NAME
 
     # -- mid-campaign checkpoints ----------------------------------------------
 

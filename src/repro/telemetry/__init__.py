@@ -1,0 +1,74 @@
+"""Telemetry: metrics registry, stage/span tracing, worker heartbeats,
+structured logging.
+
+The subsystem is **off by default and provably inert**: enabling or
+disabling it changes neither the RNG stream nor any campaign result byte
+(the determinism guard in ``tests/test_telemetry.py`` enforces this on
+every execution backend).  Disabled instruments are module-level no-op
+singletons — the EVM hot loop pays one attribute call per instrument,
+with no branching.
+
+Layout
+------
+:mod:`~repro.telemetry.metrics`
+    counters / gauges / fixed-bucket histograms, the process registry,
+    snapshot + associative merge + delta.
+:mod:`~repro.telemetry.spans`
+    per-span wall-time/count aggregation over the engine pipeline and
+    the caches; maintains the current-stage stack heartbeats sample.
+:mod:`~repro.telemetry.progress`
+    :class:`ProgressSnapshot` heartbeats from backend workers, plus the
+    per-job :class:`TelemetrySession` scope.
+:mod:`~repro.telemetry.log`
+    the structured, level-routed logger behind the CLI.
+
+Set ``REPRO_TELEMETRY=1`` to enable collection at import time (the CLI's
+``--metrics``/``--telemetry`` flags and the orchestrator's
+``run_matrix(telemetry=True)`` enable it programmatically).
+"""
+
+from __future__ import annotations
+
+import os as _os
+
+from repro.telemetry.metrics import (
+    REGISTRY,
+    counter,
+    diff_snapshots,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    histogram,
+    merge_snapshots,
+    reset,
+    snapshot,
+)
+from repro.telemetry.progress import (
+    HEARTBEAT,
+    ProgressSnapshot,
+    TelemetrySession,
+)
+from repro.telemetry.spans import current_stage, span
+
+__all__ = [
+    "REGISTRY",
+    "HEARTBEAT",
+    "ProgressSnapshot",
+    "TelemetrySession",
+    "counter",
+    "current_stage",
+    "diff_snapshots",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "histogram",
+    "merge_snapshots",
+    "reset",
+    "snapshot",
+    "span",
+]
+
+if _os.environ.get("REPRO_TELEMETRY") == "1":  # pragma: no cover
+    enable()

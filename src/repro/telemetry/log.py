@@ -1,0 +1,138 @@
+"""Structured logging for the CLI and the orchestrator.
+
+A thin layer over :mod:`logging` with two properties the raw module does
+not give us:
+
+* **level-routed streams** — records below WARNING go to the *current*
+  ``sys.stdout``, WARNING and above to the *current* ``sys.stderr``.  The
+  streams are resolved at emit time, not handler-construction time, so
+  output capture (pytest's ``capsys``, subprocess pipes) always sees what
+  the user would;
+* **structured fields** — ``log.info("resumed", path=p, at=n)`` renders
+  as ``resumed path=... at=...``; the message stays the human-readable
+  part and the fields stay greppable.
+
+INFO-level records render bare (they *are* the CLI's user-facing output);
+WARNING/ERROR records are prefixed with their level unless the message
+already carries an ``error:``-style prefix; DEBUG records are prefixed
+``debug:``.
+
+:func:`configure` is idempotent and re-entrant: it installs exactly one
+handler on the ``repro`` logger and sets its level from an explicit
+level name and/or ``-q``/``-v`` flag counts.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["LOGGER", "configure", "resolve_level", "debug", "info",
+           "warning", "error", "format_fields"]
+
+LOGGER = logging.getLogger("repro")
+LOGGER.propagate = False
+
+LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+def format_fields(fields: dict) -> str:
+    """``key=value`` rendering for structured fields (insertion order)."""
+    parts = []
+    for key, value in fields.items():
+        if isinstance(value, float):
+            value = f"{value:.3f}"
+        value = str(value)
+        if " " in value:
+            value = f'"{value}"'
+        parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+class _LevelRoutedHandler(logging.Handler):
+    """Writes to the current stdout/stderr, chosen per record level."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            message = record.getMessage()
+            if record.levelno >= logging.WARNING:
+                prefix = ("" if message.startswith(("error:", "warning:"))
+                          else f"{record.levelname.lower()}: ")
+                stream = sys.stderr
+                message = prefix + message
+            elif record.levelno < logging.INFO:
+                stream = sys.stdout
+                message = f"debug: {message}"
+            else:
+                stream = sys.stdout
+            stream.write(message + "\n")
+        except Exception:  # pragma: no cover - mirrors logging's contract
+            self.handleError(record)
+
+
+def resolve_level(level: str | None = None, quiet: int = 0,
+                  verbose: int = 0) -> int:
+    """The effective level from ``--log-level`` and ``-q``/``-v`` counts.
+
+    An explicit ``--log-level`` wins; otherwise each ``-q`` steps the
+    default (INFO) toward ERROR and each ``-v`` toward DEBUG.
+    """
+    if level is not None:
+        try:
+            return LEVELS[level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}: expected one of "
+                f"{', '.join(LEVELS)}") from None
+    if quiet and verbose:
+        raise ValueError("-q and -v are mutually exclusive")
+    if quiet:
+        return logging.ERROR if quiet > 1 else logging.WARNING
+    if verbose:
+        return logging.DEBUG
+    return logging.INFO
+
+
+def configure(level: int | str | None = None, quiet: int = 0,
+              verbose: int = 0) -> None:
+    """(Re)install the level-routed handler and set the threshold."""
+    if not isinstance(level, int):
+        level = resolve_level(level, quiet=quiet, verbose=verbose)
+    for handler in list(LOGGER.handlers):
+        LOGGER.removeHandler(handler)
+    LOGGER.addHandler(_LevelRoutedHandler())
+    LOGGER.setLevel(level)
+
+
+def _ensure_configured() -> None:
+    if not LOGGER.handlers:
+        configure()
+
+
+def _emit(level: int, msg: str, fields: dict) -> None:
+    _ensure_configured()
+    if fields:
+        rendered = format_fields(fields)
+        msg = f"{msg} {rendered}" if msg else rendered
+    LOGGER.log(level, msg)
+
+
+def debug(msg: str = "", **fields) -> None:
+    _emit(logging.DEBUG, msg, fields)
+
+
+def info(msg: str = "", **fields) -> None:
+    _emit(logging.INFO, msg, fields)
+
+
+def warning(msg: str = "", **fields) -> None:
+    _emit(logging.WARNING, msg, fields)
+
+
+def error(msg: str = "", **fields) -> None:
+    _emit(logging.ERROR, msg, fields)

@@ -1,0 +1,378 @@
+"""Process-local metrics registry: counters, gauges, fixed-bucket
+histograms.
+
+Design constraints (the tentpole's hard requirements):
+
+* **Zero overhead when disabled.**  Instruments are module-level
+  singletons created at import time; enabling/disabling telemetry swaps
+  their *bound methods* (``inc``/``add``/``set``/``observe``) between the
+  live implementation and a shared no-op function.  Call sites therefore
+  pay exactly one attribute load plus one call — no branch, no lock, no
+  dict probe — whether telemetry is on or off.  The EVM hot loop is
+  instrumented this way.
+* **Provably inert.**  No instrument touches the RNG, allocates into any
+  campaign data structure, or influences control flow; the determinism
+  guard (``tests/test_telemetry.py``) asserts byte-identical campaign
+  JSON with telemetry enabled vs disabled on every execution backend.
+* **Cheaply snapshotable.**  :func:`snapshot` folds every registered
+  instrument into a canonical, JSON-serializable dict; snapshots from
+  different processes merge associatively (:func:`merge_snapshots`) so
+  the scheduler can fold worker deltas in any arrival order, and
+  :func:`diff_snapshots` turns a long-lived worker's cumulative registry
+  into per-job deltas.
+
+Instruments register by name; requesting an existing name returns the
+existing instrument (idempotent), so modules can declare their metrics at
+import time without coordination.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "register_collector",
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+    "snapshot",
+    "merge_snapshots",
+    "diff_snapshots",
+]
+
+
+def _noop(*_args, **_kwargs) -> None:
+    return None
+
+
+class Counter:
+    """Monotonic counter.  ``inc()``/``add(n)`` are swapped to no-ops
+    while telemetry is disabled."""
+
+    __slots__ = ("name", "value", "inc", "add")
+
+    def __init__(self, name: str, live: bool) -> None:
+        self.name = name
+        self.value = 0
+        self._bind(live)
+
+    def _bind(self, live: bool) -> None:
+        if live:
+            self.inc = self._inc_live
+            self.add = self._add_live
+        else:
+            self.inc = _noop
+            self.add = _noop
+
+    def _inc_live(self) -> None:
+        self.value += 1
+
+    def _add_live(self, n: int) -> None:
+        self.value += n
+
+    def set_total(self, value: int) -> None:
+        """Overwrite the running total — snapshot-time collectors mirroring
+        a counter a subsystem already keeps (never swapped to a no-op:
+        collectors only run inside :meth:`Registry.snapshot`, so the hot
+        path still pays nothing)."""
+        self.value = value
+
+    def _reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """Last-written value (merged across snapshots as the max, which
+    keeps the merge associative and commutative)."""
+
+    __slots__ = ("name", "value", "set")
+
+    def __init__(self, name: str, live: bool) -> None:
+        self.name = name
+        self.value = 0
+        self._bind(live)
+
+    def _bind(self, live: bool) -> None:
+        self.set = self._set_live if live else _noop
+
+    def _set_live(self, value) -> None:
+        self.value = value
+
+    def _reset(self) -> None:
+        self.value = 0
+
+
+class Histogram:
+    """Fixed-bucket histogram.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    overflow bucket is appended, so ``counts`` has ``len(bounds) + 1``
+    cells.  ``observe(v)`` places ``v`` in the first bucket whose bound is
+    ``>= v`` (bisect, no allocation).
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count", "observe")
+
+    def __init__(self, name: str, bounds, live: bool) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be a non-empty "
+                             "ascending sequence")
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.count = 0
+        self._bind(live)
+
+    def _bind(self, live: bool) -> None:
+        self.observe = self._observe_live if live else _noop
+
+    def _observe_live(self, value) -> None:
+        # first bucket whose (inclusive) upper edge is >= value; values
+        # above every edge land in the overflow cell
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def _reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.count = 0
+
+
+class Registry:
+    """Named instruments plus the spans registered by
+    :mod:`repro.telemetry.spans`; one per process in practice."""
+
+    def __init__(self) -> None:
+        self._counters: dict = {}
+        self._gauges: dict = {}
+        self._histograms: dict = {}
+        self._spans: dict = {}  # populated by spans.Span
+        self._collectors: list = []
+        self._enabled = False
+
+    # -- instrument creation (idempotent by name) -----------------------------
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name, self._enabled)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name, self._enabled)
+        return inst
+
+    def histogram(self, name: str, bounds) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name, bounds,
+                                                      self._enabled)
+        return inst
+
+    def register_span(self, span) -> None:
+        self._spans[span.name] = span
+
+    def register_collector(self, fn) -> None:
+        """Register a snapshot-time callback.
+
+        Collectors run at the top of every :meth:`snapshot` and mirror
+        counters a subsystem already maintains for itself (via
+        :meth:`Counter.set_total`) into the registry.  This keeps the
+        instrumented hot path at literally zero added work — the absolute
+        totals land in both a session's baseline and final snapshot, so
+        ``diff_snapshots`` still yields exact per-job deltas.
+        """
+        if fn not in self._collectors:
+            self._collectors.append(fn)
+
+    # -- the global switch -----------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        """Bind every instrument live (idempotent)."""
+        if self._enabled:
+            return
+        self._enabled = True
+        for group in (self._counters, self._gauges, self._histograms):
+            for inst in group.values():
+                inst._bind(True)
+        for span in self._spans.values():
+            span._live = True
+
+    def disable(self) -> None:
+        """Bind every instrument to the shared no-op (idempotent)."""
+        if not self._enabled:
+            return
+        self._enabled = False
+        for group in (self._counters, self._gauges, self._histograms):
+            for inst in group.values():
+                inst._bind(False)
+        for span in self._spans.values():
+            span._live = False
+
+    def reset(self) -> None:
+        """Zero every instrument (the enable/disable state is kept)."""
+        for group in (self._counters, self._gauges, self._histograms):
+            for inst in group.values():
+                inst._reset()
+        for span in self._spans.values():
+            span._reset()
+
+    # -- snapshots --------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Canonical JSON-serializable form of every instrument."""
+        for fn in self._collectors:
+            fn()
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "total": h.total,
+                    "count": h.count,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+            "spans": {
+                name: {"count": s.count, "total_s": round(s.total, 6)}
+                for name, s in sorted(self._spans.items())
+            },
+        }
+
+
+def merge_snapshots(a: dict, b: dict) -> dict:
+    """Fold two snapshots into one; associative and commutative.
+
+    Counters, histogram cells, and span aggregates add; gauges take the
+    max (the associative choice — gauges are point-in-time readings, so
+    "highest observed" is the only order-free merge).
+    """
+    out = {
+        "counters": dict(a.get("counters", {})),
+        "gauges": dict(a.get("gauges", {})),
+        "histograms": {k: {"bounds": list(v["bounds"]),
+                           "counts": list(v["counts"]),
+                           "total": v["total"], "count": v["count"]}
+                       for k, v in a.get("histograms", {}).items()},
+        "spans": {k: dict(v) for k, v in a.get("spans", {}).items()},
+    }
+    for name, value in b.get("counters", {}).items():
+        out["counters"][name] = out["counters"].get(name, 0) + value
+    for name, value in b.get("gauges", {}).items():
+        out["gauges"][name] = max(out["gauges"].get(name, value), value)
+    for name, hist in b.get("histograms", {}).items():
+        mine = out["histograms"].get(name)
+        if mine is None or list(mine["bounds"]) != list(hist["bounds"]):
+            # unseen name, or incompatible bucket layouts: keep b's copy
+            # (layouts only differ across software versions)
+            out["histograms"][name] = {
+                "bounds": list(hist["bounds"]),
+                "counts": list(hist["counts"]),
+                "total": hist["total"], "count": hist["count"]}
+            continue
+        mine["counts"] = [x + y
+                          for x, y in zip(mine["counts"], hist["counts"])]
+        mine["total"] += hist["total"]
+        mine["count"] += hist["count"]
+    for name, span in b.get("spans", {}).items():
+        mine = out["spans"].get(name)
+        if mine is None:
+            out["spans"][name] = dict(span)
+        else:
+            mine["count"] += span["count"]
+            mine["total_s"] = round(mine["total_s"] + span["total_s"], 6)
+    return out
+
+
+def diff_snapshots(after: dict, before: dict) -> dict:
+    """``after - before``: the delta one job contributed to a long-lived
+    worker's cumulative registry.  Gauges keep their ``after`` reading.
+    """
+    out = {"counters": {}, "gauges": dict(after.get("gauges", {})),
+           "histograms": {}, "spans": {}}
+    pre = before.get("counters", {})
+    for name, value in after.get("counters", {}).items():
+        out["counters"][name] = value - pre.get(name, 0)
+    pre = before.get("histograms", {})
+    for name, hist in after.get("histograms", {}).items():
+        old = pre.get(name)
+        if old is None or list(old["bounds"]) != list(hist["bounds"]):
+            out["histograms"][name] = {
+                "bounds": list(hist["bounds"]),
+                "counts": list(hist["counts"]),
+                "total": hist["total"], "count": hist["count"]}
+            continue
+        out["histograms"][name] = {
+            "bounds": list(hist["bounds"]),
+            "counts": [x - y
+                       for x, y in zip(hist["counts"], old["counts"])],
+            "total": hist["total"] - old["total"],
+            "count": hist["count"] - old["count"]}
+    pre = before.get("spans", {})
+    for name, span in after.get("spans", {}).items():
+        old = pre.get(name, {"count": 0, "total_s": 0.0})
+        out["spans"][name] = {
+            "count": span["count"] - old["count"],
+            "total_s": round(span["total_s"] - old["total_s"], 6)}
+    return out
+
+
+#: the process-local registry behind the module-level helpers
+REGISTRY = Registry()
+
+
+def counter(name: str) -> Counter:
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str, bounds) -> Histogram:
+    return REGISTRY.histogram(name, bounds)
+
+
+def register_collector(fn) -> None:
+    REGISTRY.register_collector(fn)
+
+
+def enable() -> None:
+    REGISTRY.enable()
+
+
+def disable() -> None:
+    REGISTRY.disable()
+
+
+def enabled() -> bool:
+    return REGISTRY.enabled
+
+
+def reset() -> None:
+    REGISTRY.reset()
+
+
+def snapshot() -> dict:
+    return REGISTRY.snapshot()

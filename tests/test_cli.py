@@ -179,12 +179,12 @@ class TestOracleSelection:
 
     def test_fuzz_rejects_unknown_oracle_code(self, capsys, lockbox_file):
         assert main(["fuzz", lockbox_file, "--oracles", "ZZ"]) == 2
-        assert "--oracles" in capsys.readouterr().out
+        assert "--oracles" in capsys.readouterr().err
 
     def test_fuzz_rejects_empty_oracles_value(self, capsys, lockbox_file):
         # a fat-fingered empty value must not silently run oracle-free
         assert main(["fuzz", lockbox_file, "--oracles", " , "]) == 2
-        assert "no bug-class codes" in capsys.readouterr().out
+        assert "no bug-class codes" in capsys.readouterr().err
 
     def test_campaign_oracles_flag(self, capsys, tmp_path, lockbox_file):
         results = tmp_path / "results"
@@ -211,7 +211,7 @@ class TestOracleSelection:
         bogus = tmp_path / "x.json"
         bogus.write_text("{}")
         assert main(["replay", str(bogus)]) == 2
-        assert "not a campaign result record" in capsys.readouterr().out
+        assert "not a campaign result record" in capsys.readouterr().err
 
 
 class TestBudgetFlags:
@@ -292,7 +292,7 @@ class TestCheckpointFlags:
         assert main(["fuzz", crowdsale_file, "--iterations", "10",
                      "--checkpoint-every", "0",
                      "--checkpoint-file", "x.json"]) == 2
-        assert "must be >= 1" in capsys.readouterr().out
+        assert "must be >= 1" in capsys.readouterr().err
 
     def test_fuzz_rejects_checkpoint_file_alone(self, capsys, tmp_path,
                                                 crowdsale_file):
@@ -301,7 +301,7 @@ class TestCheckpointFlags:
         assert main(["fuzz", crowdsale_file, "--iterations", "10",
                      "--checkpoint-file",
                      str(tmp_path / "cp.json")]) == 2
-        assert "does nothing on its own" in capsys.readouterr().out
+        assert "does nothing on its own" in capsys.readouterr().err
 
     def test_fuzz_checkpoint_not_shared_across_contracts(self, capsys,
                                                          tmp_path):
@@ -363,7 +363,7 @@ class TestCheckpointFlags:
                      "--iterations", "20", "--seed", "3", "--resume",
                      "--checkpoint-every", "5",
                      "--checkpoint-file", str(checkpoint)]) == 2
-        assert "refusing to overwrite" in capsys.readouterr().out
+        assert "refusing to overwrite" in capsys.readouterr().err
         assert checkpoint.read_text() == foreign
         # read-only --resume against the same file still runs fresh and
         # leaves it untouched
