@@ -77,9 +77,13 @@ def test_repetition_rule_isolated(sample, once, report):
 
 
 def test_state_cache_speedup(sample, once, report):
-    """§VI future-work extension: prefix-state caching should cut the
-    executed EVM instructions of an identical campaign without changing
-    coverage or findings."""
+    """§VI future-work extension: the prefix-snapshot tree fast-forwards
+    memoized prefixes instead of re-executing them.  It is a pure
+    performance layer, so the campaign *accounting* — recorded steps,
+    coverage, findings — must come out identical with it on or off; the
+    work it actually removed shows up in the cache's own counters (the
+    ``state_cache`` series in BENCH_evm.json measures the wall-clock
+    side)."""
     iterations = scaled(120, 300)
 
     def compare():
@@ -87,7 +91,7 @@ def test_state_cache_speedup(sample, once, report):
         for use_cache in (False, True):
             steps = 0
             cov = 0.0
-            hits = 0
+            hits = saved = 0
             for contract in sample:
                 fuzzer = Fuzzer(contract.artifact, mufuzz_config(
                     iterations=iterations, rng_seed=44,
@@ -96,19 +100,25 @@ def test_state_cache_speedup(sample, once, report):
                 steps += result.total_steps
                 cov += result.coverage
                 if fuzzer.state_cache is not None:
-                    hits += fuzzer.state_cache.stats()["hits"]
+                    stats = fuzzer.state_cache.stats()
+                    hits += stats["hits"]
+                    saved += stats["steps_saved"]
             rows.append([("with cache" if use_cache else "no cache"),
-                         steps, f"{cov / len(sample):.1%}", hits])
+                         steps, f"{cov / len(sample):.1%}", hits, saved])
         return rows
 
     rows = once(compare)
     report("ablation_state_cache", format_table(
-        ["mode", "executed steps", "avg coverage", "cache hits"], rows,
-        title="Extra ablation — §VI prefix-state caching"))
-    no_cache_steps = rows[0][1]
-    cached_steps = rows[1][1]
-    assert cached_steps <= no_cache_steps, \
-        "state cache must not increase executed instructions"
+        ["mode", "recorded steps", "avg coverage", "cache hits",
+         "steps fast-forwarded"], rows,
+        title="Extra ablation — §VI prefix-snapshot tree"))
+    no_cache, cached = rows
+    assert cached[1] == no_cache[1], \
+        "the state cache must not change recorded campaign steps"
+    assert cached[2] == no_cache[2], \
+        "the state cache must not change coverage"
+    assert cached[3] > 0, "campaigns never hit the state cache"
+    assert cached[4] > 0, "cache hits fast-forwarded no steps"
 
 
 def test_energy_scheme_comparison(sample, once, report):

@@ -35,7 +35,7 @@ from pathlib import Path
 
 from repro.core.config import mufuzz_config
 from repro.core.fuzzer import Fuzzer
-from repro.corpus import generate_d2
+from repro.corpus import generate_d2, generate_d3
 from repro.telemetry import metrics as telemetry_metrics
 
 EVM_BENCH_PATH = Path(__file__).parent.parent / "BENCH_evm.json"
@@ -54,6 +54,15 @@ OVERHEAD_ROUNDS = 3
 #: the observability budget: enabled telemetry may cost at most this
 #: fraction of replay throughput (ISSUE acceptance criterion)
 OVERHEAD_BUDGET = 0.03
+#: campaign iterations for the state-cache A/B series — longer than the
+#: throughput workloads so prefixes recur enough for the snapshot tree
+#: to reach its steady-state hit rate
+STATE_CACHE_ITERS = 400
+STATE_CACHE_ITERS_SMOKE = 60
+#: interleaved A/B rounds per contract for the state-cache series
+STATE_CACHE_ROUNDS = 2
+#: d3 contracts sampled for the series' second corpus
+STATE_CACHE_D3 = 3
 
 
 def _smoke() -> bool:
@@ -70,13 +79,21 @@ def _bench_contracts(count: int) -> list:
 
 
 def _replay_throughput(contracts, iters: int) -> dict:
-    """Fixed-sequence replay: interpreter + per-iteration state reset."""
+    """Fixed-sequence replay: interpreter + per-iteration state reset.
+
+    Runs with the state cache pinned off (as do the campaign and
+    telemetry series): these series track the *interpreter's* perf
+    trajectory against the seed entry, and with the cache on a re-executed
+    fixed sequence degenerates to a 100%-hit fast-forward.  The cache gets
+    its own A/B series (``state_cache``) below.
+    """
     steps = 0
     elapsed = 0.0
     executions = 0
     for contract in contracts:
         fuzzer = Fuzzer(contract.artifact,
-                        mufuzz_config(iterations=iters, rng_seed=7))
+                        mufuzz_config(iterations=iters, rng_seed=7,
+                                      use_state_cache=False))
         seed = fuzzer._fresh_seed()
         start = time.perf_counter()
         for _ in range(iters):
@@ -96,7 +113,8 @@ def _campaign_throughput(contracts, iters: int) -> dict:
     executions = 0
     for contract in contracts:
         fuzzer = Fuzzer(contract.artifact,
-                        mufuzz_config(iterations=iters, rng_seed=7))
+                        mufuzz_config(iterations=iters, rng_seed=7,
+                                      use_state_cache=False))
         start = time.perf_counter()
         result = fuzzer.run()
         elapsed += time.perf_counter() - start
@@ -129,7 +147,8 @@ def _telemetry_overhead(contracts, iters: int) -> dict:
     try:
         for contract in contracts:
             fuzzer = Fuzzer(contract.artifact,
-                            mufuzz_config(iterations=iters, rng_seed=7))
+                            mufuzz_config(iterations=iters, rng_seed=7,
+                                          use_state_cache=False))
             seed = fuzzer._fresh_seed()
             fuzzer._execute(seed)  # warm the analysis/compile caches
             for round_no in range(rounds):
@@ -168,6 +187,59 @@ def _telemetry_overhead(contracts, iters: int) -> dict:
     }
 
 
+def _state_cache_series(contracts, iters: int) -> dict:
+    """A/B series: identical campaigns with the prefix-snapshot state
+    cache on vs off.
+
+    Campaign results are byte-identical either way (the golden-fixture
+    guard pins that), so both arms do the same logical work and the
+    series isolates pure wall-clock savings.  Same hostile-conditions
+    estimator as the telemetry series: each round times the two arms back
+    to back, the arm order alternates every round, and the reported
+    speedup is the **median of the paired off/on time ratios** across
+    every (contract, round) pair.
+    """
+    ratios = []
+    total = {"off": 0.0, "on": 0.0}
+    steps = hits = misses = saved = 0
+    for contract in contracts:
+        # warm the compile/analysis caches outside the timed region
+        Fuzzer(contract.artifact,
+               mufuzz_config(iterations=2, rng_seed=7)).run()
+        for round_no in range(STATE_CACHE_ROUNDS):
+            arms = ("off", "on") if round_no % 2 == 0 else ("on", "off")
+            elapsed = {}
+            for arm in arms:
+                fuzzer = Fuzzer(contract.artifact, mufuzz_config(
+                    iterations=iters, rng_seed=7,
+                    use_state_cache=arm == "on"))
+                start = time.perf_counter()
+                result = fuzzer.run()
+                elapsed[arm] = time.perf_counter() - start
+                total[arm] += elapsed[arm]
+                if arm == "on":
+                    steps += result.total_steps
+                    stats = fuzzer.state_cache.stats()
+                    hits += stats["hits"]
+                    misses += stats["misses"]
+                    saved += stats["steps_saved"]
+            ratios.append(elapsed["off"] / elapsed["on"])
+    ratios.sort()
+    probes = hits + misses
+    return {
+        "speedup": round(ratios[len(ratios) // 2], 3) if ratios else None,
+        "hit_rate": round(hits / probes, 4) if probes else 0.0,
+        "steps_saved": saved,
+        "cached_steps_per_sec": (round(steps / total["on"])
+                                 if total["on"] else None),
+        "uncached_steps_per_sec": (round(steps / total["off"])
+                                   if total["off"] else None),
+        "iterations": iters,
+        "rounds": STATE_CACHE_ROUNDS,
+        "pairs": len(ratios),
+    }
+
+
 def run_evm_bench(smoke: bool | None = None) -> dict:
     """Run both workloads and persist the variant entry in BENCH_evm.json."""
     if smoke is None:
@@ -180,10 +252,17 @@ def run_evm_bench(smoke: bool | None = None) -> dict:
         contracts, CAMPAIGN_ITERS_SMOKE if smoke else CAMPAIGN_ITERS)
     overhead = _telemetry_overhead(
         contracts, REPLAY_ITERS_SMOKE if smoke else REPLAY_ITERS)
+    cache_iters = STATE_CACHE_ITERS_SMOKE if smoke else STATE_CACHE_ITERS
+    d3_sample = generate_d3(count=STATE_CACHE_D3)
+    state_cache = {
+        "d2": _state_cache_series(contracts, cache_iters),
+        "d3": _state_cache_series(d3_sample, cache_iters),
+    }
     entry = {
         "replay": replay,
         "campaign": campaign,
         "telemetry_overhead": overhead,
+        "state_cache": state_cache,
         "contracts": [c.name for c in contracts],
         "smoke": smoke,
     }
@@ -222,6 +301,11 @@ def test_evm_throughput(report):
                  f"off, {o['enabled_steps_per_sec']} on "
                  f"({o['overhead'] * 100:+.1f}% overhead, "
                  f"budget {o['budget'] * 100:.0f}%)")
+    for corpus, series in entry["state_cache"].items():
+        lines.append(f"  state-cache [{corpus}] {series['speedup']}x "
+                     f"campaign speedup, {series['hit_rate']:.0%} hit "
+                     f"rate, {series['steps_saved']} steps fast-forwarded "
+                     f"({series['pairs']} pairs)")
     report("evm_throughput", "\n".join(lines))
     assert entry["replay"]["steps_per_sec"] > 0
     # enabled telemetry must stay within the observability budget of the
@@ -229,6 +313,15 @@ def test_evm_throughput(report):
     assert o["overhead"] <= o["budget"], (
         f"telemetry costs {o['overhead']:.1%} of replay throughput "
         f"(budget {o['budget']:.0%})")
+    # the state cache must actually win: campaigns with it on may never
+    # be slower than with it off (median of paired interleaved rounds —
+    # the point estimate itself lands well above 1; the floor is kept
+    # loose only to absorb shared-CI noise)
+    for corpus, series in entry["state_cache"].items():
+        assert series["hit_rate"] > 0, f"{corpus}: cache never hit"
+        assert series["speedup"] >= 1.0, (
+            f"{corpus}: state cache slowed campaigns down "
+            f"({series['speedup']}x)")
 
 
 if __name__ == "__main__":

@@ -142,6 +142,20 @@ class Chain:
         self.block.advance()
         return receipt
 
+    def replay_delta(self, redo_ops: tuple, receipt) -> None:
+        """Fast-forward one memoized transaction without executing it.
+
+        The state-cache restore path: applies the transaction's captured
+        redo delta through the journaled setters (so a later
+        :meth:`reset_to_base` still undoes it), re-appends its receipt,
+        and advances the block exactly as :meth:`apply` would have — the
+        chain ends up bit-identical to having executed the transaction,
+        in O(slots it touched) instead of O(its instruction count).
+        """
+        self.world.apply_redo(redo_ops)
+        self.receipts.append(receipt)
+        self.block.advance()
+
     def fork(self) -> "Chain":
         """Deep-copy the chain (point-in-time snapshot, no base mark)."""
         clone = Chain(self.world.fork(), self.max_steps,

@@ -176,6 +176,72 @@ class WorldState:
         """Drop the undo log (call between transactions)."""
         self._journal.clear()
 
+    # -- redo deltas (prefix-state snapshot tree) -------------------------------
+
+    def journal_mark(self) -> int:
+        """Current journal length — the watermark :meth:`capture_redo`
+        measures a transaction's committed mutations from."""
+        return len(self._journal)
+
+    def capture_redo(self, mark: int) -> tuple:
+        """The *forward* delta of every mutation committed since ``mark``.
+
+        The journal is an undo log: each entry names a touched key and its
+        pre-image.  Reverted frames already popped their entries, so the
+        segment past ``mark`` lists exactly the keys a committed
+        transaction changed — in first-touch order, which puts an
+        account's ``create`` before any write to it.  For each key the
+        *current* (post-transaction) value is read once, so the returned
+        ops replay the transaction's net state effect without executing
+        it.  Size is O(slots the transaction touched), not O(world).
+        """
+        seen: set = set()
+        ops = []
+        for entry in self._journal[mark:]:
+            kind = entry[0]
+            if kind == "storage":
+                key = (kind, entry[1], entry[2])
+            else:
+                key = (kind, entry[1])
+            if key in seen:
+                continue
+            seen.add(key)
+            if kind == "create":
+                ops.append(entry[:2])
+                continue
+            acct = self._accounts[entry[1]]
+            if kind == "balance":
+                ops.append((kind, entry[1], acct.balance))
+            elif kind == "storage":
+                slot = entry[2]
+                ops.append((kind, entry[1], slot,
+                            acct.storage.get(slot, 0),
+                            acct.storage_shadow.get(slot, EMPTY_SHADOW)))
+            elif kind == "code":
+                ops.append((kind, entry[1], acct.code))
+            elif kind == "destroyed":
+                ops.append((kind, entry[1], acct.destroyed))
+        return tuple(ops)
+
+    def apply_redo(self, ops: tuple) -> None:
+        """Replay a :meth:`capture_redo` delta through the journaled
+        setters, so an enclosing ``revert_to``/``reset_to_base`` still
+        undoes the fast-forwarded state."""
+        for op in ops:
+            kind = op[0]
+            if kind == "balance":
+                self.set_balance(op[1], op[2])
+            elif kind == "storage":
+                self.set_storage(op[1], op[2], op[3], op[4])
+            elif kind == "create":
+                self.account(op[1])
+            elif kind == "code":
+                self.set_code(op[1], op[2])
+            elif kind == "destroyed":
+                acct = self.account(op[1])
+                self._journal.append(("destroyed", op[1], acct.destroyed))
+                acct.destroyed = op[2]
+
     # -- deep snapshot for campaign-level save/restore ------------------------------------
 
     def fork(self) -> "WorldState":

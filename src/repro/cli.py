@@ -81,6 +81,17 @@ def build_parser() -> argparse.ArgumentParser:
                            "all nine, 'none' = coverage only). The "
                            "machine skips materializing trace events no "
                            "selected oracle subscribes to")
+    fuzz.add_argument("--state-cache", action=argparse.BooleanOptionalAction,
+                      default=None,
+                      help="prefix-snapshot state cache: memoize "
+                           "post-prefix chain states and fast-forward "
+                           "shared prefixes instead of re-executing them "
+                           "(default: on; a pure performance layer — "
+                           "results are byte-identical either way)")
+    fuzz.add_argument("--state-cache-capacity", type=int, default=None,
+                      metavar="N",
+                      help="memoized prefix states to keep (default: 64; "
+                           "leaf-first LRU eviction beyond that)")
     fuzz.add_argument("--metrics", default=None, metavar="FILE",
                       help="collect telemetry during the campaign "
                            "(provably inert: results are byte-identical "
@@ -152,6 +163,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="restrict every campaign to these bug classes "
                            "(comma-separated codes, e.g. RE,IO; 'all' = "
                            "all nine, 'none' = coverage only)")
+    camp.add_argument("--state-cache", action=argparse.BooleanOptionalAction,
+                      default=None,
+                      help="pin the prefix-snapshot state cache on or off "
+                           "for every campaign in the matrix (default: "
+                           "the config default, on; results are "
+                           "byte-identical either way)")
+    camp.add_argument("--state-cache-capacity", type=int, default=None,
+                      metavar="N",
+                      help="per-campaign memoized prefix states to keep "
+                           "(default: 64)")
     camp.add_argument("--telemetry", action="store_true",
                       help="collect per-job telemetry and worker "
                            "heartbeats; with --results-dir the scheduler "
@@ -305,6 +326,13 @@ def cmd_fuzz(args) -> int:
         return 2
     if bug_classes is not None:
         overrides["bug_classes"] = bug_classes
+    if args.state_cache is not None:
+        overrides["use_state_cache"] = args.state_cache
+    if args.state_cache_capacity is not None:
+        if args.state_cache_capacity < 1:
+            log.error("error: --state-cache-capacity must be >= 1")
+            return 2
+        overrides["state_cache_capacity"] = args.state_cache_capacity
     config = PRESET_CONFIGS[args.fuzzer](rng_seed=args.seed, **overrides)
 
     session = None
@@ -412,6 +440,9 @@ def cmd_campaign(args) -> int:
     except ValueError as exc:
         log.error(f"error: --oracles: {exc}")
         return 2
+    if args.state_cache_capacity is not None and args.state_cache_capacity < 1:
+        log.error("error: --state-cache-capacity must be >= 1")
+        return 2
     contracts = _campaign_contracts(args)
     workers = resolve_workers(args.workers)
     if args.backend is None and args.recycle_after:
@@ -476,6 +507,8 @@ def cmd_campaign(args) -> int:
         job_timeout=args.job_timeout, progress=progress,
         backend=backend, recycle_after=args.recycle_after,
         checkpoint_every=args.checkpoint_every, oracles=oracles,
+        state_cache=args.state_cache,
+        state_cache_capacity=args.state_cache_capacity,
         telemetry=telemetry)
 
     if run.results_dir is not None:
@@ -533,6 +566,13 @@ def _render_top_frame(record: dict) -> None:
         rows = []
         for job_id, snap in sorted(in_flight.items()):
             budget = snap.get("budget_remaining") or {}
+            cache = snap.get("cache") or {}
+            state_hits = cache.get("state_hits")
+            if state_hits is None:  # campaign runs without the state cache
+                scache = "-"
+            else:
+                probes = state_hits + cache.get("state_misses", 0)
+                scache = (f"{state_hits / probes:.0%}" if probes else "0%")
             rows.append([
                 job_id,
                 snap.get("worker", "-"),
@@ -542,12 +582,13 @@ def _render_top_frame(record: dict) -> None:
                 f"{snap.get('coverage', 0.0):.1%}",
                 snap.get("queue_depth", 0),
                 snap.get("findings", 0),
+                scache,
                 ",".join(f"{k}={v}" for k, v in sorted(budget.items()))
                 or "-",
             ])
         log.info(format_table(
             ["job", "worker", "stage", "execs", "rate", "cov", "queue",
-             "findings", "budget left"],
+             "findings", "scache", "budget left"],
             rows, title="in flight"))
     stats = record.get("stats")
     if stats:

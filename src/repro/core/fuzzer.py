@@ -268,23 +268,40 @@ class Fuzzer:
         The base chain is journal-reset to the post-deployment snapshot
         (O(slots touched by the previous iteration), not a deep copy of the
         world).  With ``use_state_cache`` (§VI future-work optimization) the
-        longest memoized transaction prefix is skipped instead: its cached
-        chain state is forked and only the suffix replays.
+        longest memoized transaction prefix is fast-forwarded instead of
+        re-executed: the snapshot tree replays each skipped transaction's
+        journal redo delta onto the freshly reset chain, re-dispatches its
+        recorded trace through the oracle bus, and charges its budget —
+        everything a live execution would have produced except the machine
+        steps, so results are byte-identical with the cache on or off.
         """
+        global _oracle_count, _oracle_seconds
         with _S_EXECUTION:
+            cache = self.state_cache
+            chain = self.base_chain.reset_to_base()
+            merged = ExecutionTrace()
             start_at = 0
-            chain = None
-            merged = None
-            if self.state_cache is not None:
-                start_at, chain, merged = \
-                    self.state_cache.longest_prefix(seed.calls)
-            if chain is None:
-                chain = self.base_chain.reset_to_base()
-                merged = ExecutionTrace()
-
-            # skipped state-cache prefixes still belong in witnesses: they
-            # set up the state the suffix's findings depend on
-            self.bus.begin_sequence(seed.calls, start_at)
+            node = None
+            path = ()
+            if cache is not None:
+                path = cache.match(seed.calls)
+                if path:
+                    start_at = len(path)
+                    node = path[-1]
+                    cache.restore(chain, path)
+            self.bus.begin_sequence(seed.calls)
+            # replay the skipped prefix to the oracles from its recorded
+            # traces: cross-transaction oracle state, witnesses, and the
+            # transaction budget stay in lockstep with a full execution
+            t0 = _perf_counter()
+            for prefix_node in path:
+                receipt = prefix_node.receipt
+                merged.merge(receipt.trace)
+                self.budget.note_transaction()
+                self.collector.extend(self.bus.replay_transaction(receipt))
+            if path:
+                _oracle_count += start_at
+                _oracle_seconds += _perf_counter() - t0
             for index in range(start_at, len(seed.calls)):
                 call = seed.calls[index]
                 data = self._encode_call(call)
@@ -294,6 +311,8 @@ class Fuzzer:
                     sender=call.sender, to=self.address, value=call.value,
                     data=data, gas=self.config.tx_gas,
                     function=call.function)
+                if cache is not None:
+                    journal_mark = chain.world.journal_mark()
                 # subscribed oracles stream the trace events of this
                 # transaction while it executes; settle their findings now
                 receipt = chain.apply(tx)
@@ -301,12 +320,11 @@ class Fuzzer:
                 merged.merge(receipt.trace)
                 t0 = _perf_counter()
                 self.collector.extend(self.bus.end_transaction(receipt))
-                global _oracle_count, _oracle_seconds
                 _oracle_count += 1
                 _oracle_seconds += _perf_counter() - t0
-                if self.state_cache is not None:
-                    self.state_cache.insert(seed.calls, index + 1, chain,
-                                            merged)
+                if cache is not None:
+                    node = cache.note(node, call, chain, receipt,
+                                      journal_mark)
             self.budget.note_execution()
             _T_EXECUTIONS.inc()
             _T_TRANSACTIONS.add(len(seed.calls) - start_at)
@@ -366,10 +384,6 @@ class Fuzzer:
             if checkpoint_sink is None:
                 raise ValueError("checkpoint_every requires a "
                                  "checkpoint_sink callback")
-            if self.state_cache is not None:
-                raise ValueError(
-                    "checkpointing is not supported with use_state_cache "
-                    "(memoized chain states are not serializable)")
         self.budget.start()
         config = self.config
 
@@ -518,9 +532,6 @@ class Fuzzer:
                 f"checkpoint belongs to contract "
                 f"{checkpoint.contract!r}, not {artifact.name!r}")
         config = FuzzerConfig(**checkpoint.config)
-        if config.use_state_cache:
-            raise ValueError("checkpoints cannot resume state-cache "
-                             "campaigns")
         supported = checkpoint.supported_bug_classes
         if supported is not None:
             supported = {BugClass(value) for value in supported}

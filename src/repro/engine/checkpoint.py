@@ -14,6 +14,13 @@ any iteration and resuming from the checkpoint produces a
 :class:`~repro.core.campaign.CampaignResult` byte-identical — modulo
 ``wall_time`` — to the uninterrupted run.  Everything the loop reads is
 either serialized here or rebuilt deterministically from it.
+
+The prefix-snapshot state cache (§VI) is deliberately *not* part of a
+checkpoint: it is a pure accelerator whose hits produce byte-identical
+results to cold execution, so a resumed campaign simply rebuilds it cold
+— the first post-resume visits re-learn hot prefixes and results stay
+pinned to the golden fixture either way (CI runs the interrupt/resume
+sweep with ``REPRO_STATE_CACHE=1`` to prove it).
 """
 
 from __future__ import annotations

@@ -172,6 +172,17 @@ class Oracle:
     #: triage defaults stamped onto this oracle's findings
     severity: str = "medium"
     confidence: float = 0.5
+    #: whether the oracle keeps state *across* transactions (anything not
+    #: reset by :meth:`begin_transaction`).  The state cache replays
+    #: memoized transactions only to replay-sensitive oracles: a
+    #: transaction-local oracle fed an already-settled receipt can only
+    #: re-emit findings the campaign collector already holds, so the bus
+    #: skips it on the fast-forward path.  Set True on any oracle that
+    #: accumulates cross-transaction evidence (see the ether-freeze
+    #: oracle); forgetting to would silently change campaign results —
+    #: the golden-fixture cache-on/off byte-identity guard exists to
+    #: catch exactly that.
+    replay_sensitive: bool = False
 
     # -- streaming protocol ---------------------------------------------------
 

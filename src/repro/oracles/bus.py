@@ -27,6 +27,7 @@ from repro.evm.trace import (
     EV_SELFDESTRUCT,
     EV_STATE_EFFECTS,
     EV_STORAGE,
+    EtherEvent,
 )
 from repro.oracles.base import FindingCollector, OracleContext
 
@@ -80,6 +81,21 @@ class OracleBus:
         #: not one per transaction)
         self._begin_hooks = tuple(o.begin_transaction for o in self.oracles)
         self._end_hooks = tuple(o.end_transaction for o in self.oracles)
+        #: the state-cache fast-forward path only replays memoized
+        #: transactions through oracles that keep cross-transaction state
+        #: (``replay_sensitive``) — a transaction-local oracle fed an
+        #: already-settled receipt could only re-emit duplicates the
+        #: campaign collector drops anyway
+        replay_oracles = tuple(o for o in self.oracles if o.replay_sensitive)
+        self._replay_subs = {
+            kind: tuple(o.on_event for o in replay_oracles
+                        if o.subscriptions & kind)
+            for kind in (EV_BRANCH, EV_COMPARE, EV_CALL, EV_OVERFLOW,
+                         EV_STORAGE, EV_SELFDESTRUCT, EV_BLOCK, EV_ETHER)
+        }
+        self._replay_begin = tuple(o.begin_transaction
+                                   for o in replay_oracles)
+        self._replay_end = tuple(o.end_transaction for o in replay_oracles)
         #: the sequence currently executing and the index of the live tx
         self._calls: list = []
         self._tx_index = 0
@@ -89,10 +105,12 @@ class OracleBus:
     def begin_sequence(self, calls, start_at: int = 0) -> None:
         """Announce the transaction sequence about to execute.
 
-        ``calls`` are the seed's :class:`~repro.core.seeds.TxCall` records;
-        ``start_at`` is the first index that will actually run (earlier
-        transactions were replayed from a memoized state-cache prefix but
-        still belong in any witness).
+        ``calls`` are the seed's :class:`~repro.core.seeds.TxCall`
+        records.  A memoized state-cache prefix does *not* move
+        ``start_at``: every skipped transaction is re-dispatched through
+        :meth:`replay_transaction`, which advances the sequence position
+        just like a live one — oracles stay in lockstep and witnesses
+        keep their full prefixes.
         """
         self._calls = list(calls)
         self._tx_index = start_at
@@ -123,6 +141,65 @@ class OracleBus:
         witness = None
         ctx = self.ctx
         for hook in self._end_hooks:
+            for finding in hook(receipt, ctx):
+                if self._is_new(finding):
+                    if witness is None:
+                        witness = self.current_witness()
+                    finding = finding.with_witness(witness)
+                findings.append(finding)
+        self._tx_index += 1
+        return findings
+
+    def replay_transaction(self, receipt) -> list:
+        """Fast-forward a memoized transaction from its recorded trace.
+
+        The state-cache hit path: the transaction's machine never runs,
+        so the bus feeds the receipt's recorded events to the
+        **replay-sensitive** oracles — the ones whose cross-transaction
+        state must observe every transaction, skipped or not.  One pass
+        over the trace, kind-major in the canonical
+        :func:`~repro.evm.trace.events_from_trace` order, so each oracle
+        sees exactly the stream the batch adapter
+        (:meth:`~repro.oracles.base.Oracle.on_receipt`) would feed it,
+        which the parity tests pin as observationally identical to live
+        streaming.  Transaction-local oracles are not consulted at all: a
+        prefix is memoized only after executing (and settling) live at
+        least twice, so anything they would emit from this receipt is
+        already in the campaign collector.  Reverted-subcall state
+        effects were pruned from the trace when it was recorded, so no
+        mark/rollback cycling is needed.  Settlement mirrors
+        :meth:`end_transaction` (witness attachment, sequence advance)
+        over the replayed oracles, keeping campaign results
+        byte-identical to a cache-off run.
+        """
+        for hook in self._replay_begin:
+            hook()
+        ctx = self.ctx
+        trace = receipt.trace
+        subs = self._replay_subs
+        for kind, events in (
+                (EV_BRANCH, trace.branches),
+                (EV_COMPARE, trace.compares),
+                (EV_CALL, trace.calls),
+                (EV_OVERFLOW, trace.overflows),
+                (EV_STORAGE, trace.storage_ops),
+                (EV_SELFDESTRUCT, trace.selfdestructs),
+                (EV_BLOCK, trace.block_reads)):
+            handlers = subs[kind]
+            if handlers and events:
+                for event in events:
+                    for on_event in handlers:
+                        on_event(event, ctx)
+        handlers = subs[EV_ETHER]
+        if handlers and trace.ether_received:
+            for address, amount in trace.ether_received.items():
+                event = EtherEvent(pc=0, address=address, depth=0,
+                                   amount=amount)
+                for on_event in handlers:
+                    on_event(event, ctx)
+        findings = []
+        witness = None
+        for hook in self._replay_end:
             for finding in hook(receipt, ctx):
                 if self._is_new(finding):
                     if witness is None:

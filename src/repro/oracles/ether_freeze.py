@@ -28,6 +28,10 @@ class EtherFreezeOracle(Oracle):
     subscriptions = EV_ETHER
     severity = "medium"
     confidence = 0.8
+    #: tracks whether the contract *ever* received ether (and the prefix
+    #: that first delivered it) — cross-transaction state, so memoized
+    #: transactions must still be replayed through this oracle
+    replay_sensitive = True
 
     def __init__(self) -> None:
         self._received = False

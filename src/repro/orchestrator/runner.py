@@ -212,6 +212,8 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
                time_budget: float | None = None,
                tx_budget: int | None = None,
                oracles=None,
+               state_cache: bool | None = None,
+               state_cache_capacity: int | None = None,
                telemetry: bool = False,
                heartbeat_every: float | None = None,
                on_heartbeat=None) -> MatrixRun:
@@ -239,6 +241,12 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
     restriction participates in result fingerprints and checkpoints.  Use
     ``supported`` instead to model *per-preset* tool capability sets.
 
+    ``state_cache``/``state_cache_capacity`` pin the prefix-snapshot
+    state cache (``use_state_cache``/``state_cache_capacity`` config
+    overrides) for every campaign in the matrix; ``None`` leaves the
+    config default (cache on).  The cache is a pure performance layer —
+    results are byte-identical either way.
+
     ``telemetry=True`` collects per-job metrics/span deltas (merged into
     ``MatrixRun.stats.telemetry``, embedded in result records) and turns
     on worker heartbeats: with a ``results_dir`` the scheduler publishes
@@ -255,6 +263,16 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
             raise ValueError("oracles given both directly and as a "
                              "bug_classes override; pass it one way")
         overrides["bug_classes"] = list(normalize_bug_classes(oracles))
+    if state_cache is not None or state_cache_capacity is not None:
+        overrides = dict(overrides or {})
+        for key, value in (("use_state_cache", state_cache),
+                           ("state_cache_capacity", state_cache_capacity)):
+            if value is None:
+                continue
+            if key in overrides:
+                raise ValueError(f"{key} given both directly and in "
+                                 f"overrides; pass it one way")
+            overrides[key] = value
     if checkpoint_every is not None and results_dir is None:
         raise ValueError("checkpoint_every requires results_dir "
                          "(checkpoints persist next to the results)")

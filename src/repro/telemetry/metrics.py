@@ -107,6 +107,12 @@ class Gauge:
     def _set_live(self, value) -> None:
         self.value = value
 
+    def set_value(self, value) -> None:
+        """Overwrite the reading — the gauge counterpart of
+        :meth:`Counter.set_total`, for snapshot-time collectors mirroring
+        sizes a subsystem already tracks (never swapped to a no-op)."""
+        self.value = value
+
     def _reset(self) -> None:
         self.value = 0
 

@@ -101,14 +101,31 @@ def snapshot_of(fuzzer) -> ProgressSnapshot:
                        if elapsed > 0 else 0.0),
         txs_per_sec=(round(budget.transactions_used / elapsed, 1)
                      if elapsed > 0 else 0.0),
-        cache={
-            "compile_hits": compile_stats["hits"],
-            "compile_misses": compile_stats["misses"],
-            "analysis_hits": analysis_stats["hits"],
-            "analysis_misses": analysis_stats["misses"],
-        },
+        cache=_cache_stats(fuzzer, compile_stats, analysis_stats),
         budget_remaining=remaining,
     )
+
+
+def _cache_stats(fuzzer, compile_stats: dict, analysis_stats: dict) -> dict:
+    """The snapshot's cache block: process-wide compile/analysis caches
+    plus (when the campaign runs with one) the prefix-snapshot state
+    cache's effectiveness counters."""
+    cache = {
+        "compile_hits": compile_stats["hits"],
+        "compile_misses": compile_stats["misses"],
+        "analysis_hits": analysis_stats["hits"],
+        "analysis_misses": analysis_stats["misses"],
+    }
+    state_cache = getattr(fuzzer, "state_cache", None)
+    if state_cache is not None:
+        cache["state_hits"] = state_cache.hits
+        cache["state_misses"] = state_cache.misses
+        cache["state_steps_saved"] = state_cache.steps_saved
+        cache["state_txs_skipped"] = state_cache.transactions_skipped
+        cache["state_nodes"] = state_cache.node_count
+        cache["state_materialized"] = state_cache.materialized_count
+        cache["state_bytes"] = state_cache.bytes_estimate()
+    return cache
 
 
 class HeartbeatEmitter:

@@ -39,6 +39,14 @@ WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
 PRESETS = ("mufuzz", "sfuzz")
 OVERRIDES = {"iterations": 30, "rng_seed": 11}
 
+# The prefix-snapshot state cache is a pure performance layer and defaults
+# to on; REPRO_STATE_CACHE pins it explicitly ("1" = on, "0" = off) so CI
+# can sweep the whole golden matrix in both modes against the *same*
+# fixture — the byte-identity guarantee that justifies the default.
+_STATE_CACHE = os.environ.get("REPRO_STATE_CACHE")
+if _STATE_CACHE is not None:
+    OVERRIDES["use_state_cache"] = _STATE_CACHE == "1"
+
 
 def _golden_contracts() -> list:
     d2 = generate_d2()
@@ -47,10 +55,10 @@ def _golden_contracts() -> list:
             + [(c.name, c.source) for c in picks])
 
 
-def _canonical_run(backend: str) -> str:
+def _canonical_run(backend: str, **extra_overrides) -> str:
     run = run_matrix(_golden_contracts(), presets=PRESETS, trials=1,
-                     overrides=dict(OVERRIDES), workers=WORKERS,
-                     backend=backend)
+                     overrides={**OVERRIDES, **extra_overrides},
+                     workers=WORKERS, backend=backend)
     assert not run.errors and not run.timeouts, (backend, run.errors)
     record = {o.job.job_id: {**o.result.to_dict(), "wall_time": 0.0}
               for o in run.outcomes}
@@ -122,6 +130,21 @@ def test_interrupted_matrix_resumes_to_golden_fixture(backend, tmp_path):
     assert canonical_json(record) == GOLDEN_PATH.read_text(), \
         (f"{backend} backend resumed-from-checkpoint results diverged "
          f"from the golden campaign fixture")
+
+
+@pytest.mark.parametrize("use_cache", [False, True],
+                         ids=["cache-off", "cache-on"])
+def test_state_cache_is_transparent_to_golden_fixture(use_cache):
+    """One fixture, both cache modes: the prefix-snapshot tree must leave
+    campaign results byte-identical whether prefixes are re-executed or
+    fast-forwarded (this is the guard behind ``use_state_cache=True`` by
+    default)."""
+    assert GOLDEN_PATH.exists(), \
+        "golden fixture missing — see module docstring to regenerate"
+    got = _canonical_run("inline", use_state_cache=use_cache)
+    assert got == GOLDEN_PATH.read_text(), \
+        (f"use_state_cache={use_cache} diverged from the golden fixture — "
+         f"the state cache is supposed to be a pure performance layer")
 
 
 def test_golden_findings_replay_from_witnesses():

@@ -240,6 +240,112 @@ class TestWitnesses:
         assert clone._witness == oracle._witness
 
 
+class TestPrefixSkipLockstep:
+    """The prefix-snapshot state cache fast-forwards memoized prefixes by
+    re-dispatching their recorded trace events through the bus
+    (``replay_transaction``) instead of re-executing them — stateful
+    oracles must observe the identical event stream either way."""
+
+    @pytest.mark.parametrize("source", [VULNERABLE_SOURCE, GAME_SOURCE,
+                                        CROWDSALE_SOURCE])
+    def test_findings_equal_per_bug_class_with_cache(self, source):
+        cached_fuzzer, cached = _campaign(source, iterations=40,
+                                          use_state_cache=True)
+        _, plain = _campaign(source, iterations=40, use_state_cache=False)
+        assert cached_fuzzer.state_cache.hits > 0
+
+        def by_class(result):
+            grouped: dict = {}
+            for f in result.findings:
+                grouped.setdefault(f.bug_class, []).append(f.to_dict())
+            return grouped
+
+        assert by_class(cached) == by_class(plain)
+        assert cached.coverage == plain.coverage
+
+    def test_witness_with_skipped_prefix_replays(self):
+        """Findings surfaced while their witness prefix was served from
+        the cache must still re-trigger through ``replay_findings``."""
+        config = mufuzz_config(iterations=40, rng_seed=5,
+                               use_state_cache=True)
+        fuzzer = Fuzzer(VULNERABLE_SOURCE, config)
+        result = fuzzer.run()
+        assert fuzzer.state_cache.hits > 0
+        assert result.findings
+        outcomes = replay_findings(VULNERABLE_SOURCE, config,
+                                   result.findings)
+        assert all(o.ok for o in outcomes), \
+            [(o.finding.bug_class, o.status) for o in outcomes]
+
+    def test_replay_keeps_cross_transaction_oracle_state(self):
+        """Unit-level lockstep: a fast-forwarded transaction must still
+        update every replay-sensitive oracle (ether-freeze tracks the
+        first ether-delivering prefix across the whole campaign), and
+        must advance the bus's sequence position like a live one."""
+        from repro.oracles.ether_freeze import EtherFreezeOracle
+
+        config = mufuzz_config(iterations=12, rng_seed=3,
+                               use_state_cache=False)
+        fuzzer = Fuzzer(VULNERABLE_SOURCE, config)
+        receipts = []
+        original_end = fuzzer.bus.end_transaction
+
+        def spy(receipt):
+            receipts.append(receipt)
+            return original_end(receipt)
+
+        fuzzer.bus.end_transaction = spy
+        fuzzer.run()
+        ether = [r for r in receipts if r.trace.ether_received and r.success]
+        assert ether, "campaign delivered no ether to replay"
+
+        replayer = Fuzzer(VULNERABLE_SOURCE, config)
+        ef = next(o for o in replayer.bus.oracles
+                  if isinstance(o, EtherFreezeOracle))
+        assert not ef._received
+        from repro.core.seeds import TxCall
+        sequence = [TxCall(function="put", args=[1], value=5, sender=7)]
+        replayer.bus.begin_sequence(sequence)
+        before = replayer.bus._tx_index
+        replayer.bus.replay_transaction(ether[0])
+        assert ef._received, \
+            "replayed ether receipt missed the ether-freeze oracle"
+        assert ef._witness == (sequence[0].to_dict(),)
+        assert replayer.bus._tx_index == before + 1
+
+    def test_replay_skips_transaction_local_oracles(self):
+        """Transaction-local oracles never see fast-forwarded receipts:
+        whatever they would emit is already in the campaign collector (a
+        prefix only memoizes after settling live twice), so replay
+        returns no duplicate findings for them."""
+        from repro.oracles.overflow import IntegerOverflowOracle
+
+        config = mufuzz_config(iterations=12, rng_seed=3,
+                               use_state_cache=False)
+        fuzzer = Fuzzer(VULNERABLE_SOURCE, config)
+        receipts = []
+        original_end = fuzzer.bus.end_transaction
+
+        def spy(receipt):
+            receipts.append(receipt)
+            return original_end(receipt)
+
+        fuzzer.bus.end_transaction = spy
+        result = fuzzer.run()
+        overflowing = [r for r in receipts
+                       if r.trace.overflows and r.success]
+        assert overflowing, "campaign recorded no overflow to replay"
+        assert any(f.bug_class == BugClass.IO for f in result.findings)
+
+        replayer = Fuzzer(VULNERABLE_SOURCE, config)
+        io_oracle = next(o for o in replayer.bus.oracles
+                         if isinstance(o, IntegerOverflowOracle))
+        assert not io_oracle.replay_sensitive
+        replayer.bus.begin_sequence([])
+        findings = replayer.bus.replay_transaction(overflowing[0])
+        assert not [f for f in findings if f.bug_class == BugClass.IO]
+
+
 class TestSubcallRollback:
     """Oracle-local transactional buffers honor subcall_mark/rollback."""
 
