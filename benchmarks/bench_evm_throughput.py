@@ -63,6 +63,11 @@ STATE_CACHE_ITERS_SMOKE = 60
 STATE_CACHE_ROUNDS = 2
 #: d3 contracts sampled for the series' second corpus
 STATE_CACHE_D3 = 3
+#: campaign iterations for the surface-pruning A/B series
+SURFACE_ITERS = 300
+SURFACE_ITERS_SMOKE = 50
+#: interleaved A/B rounds per contract for the surface-pruning series
+SURFACE_ROUNDS = 2
 
 
 def _smoke() -> bool:
@@ -240,6 +245,57 @@ def _state_cache_series(contracts, iters: int) -> dict:
     }
 
 
+def _surface_pruning_series(contracts, iters: int) -> dict:
+    """A/B series: identical campaigns with surface-proof oracle pruning
+    on vs off, over contracts the surface actually prunes something for.
+
+    Pruned oracles are provably dead (whole-code opcode absence), so both
+    arms produce byte-identical results (the golden-fixture guard pins
+    that) and the series isolates the wall-clock cost of carrying dead
+    oracles: their event subscriptions (which force the machine to
+    materialize trace events) and their per-receipt dispatch.  Same
+    hostile-conditions estimator as the other A/B series: back-to-back
+    arms per round, alternating order, median of the paired off/on time
+    ratios.
+    """
+    from repro.analysis.surface import surface_for
+
+    pruned_contracts = [
+        c for c in contracts
+        if surface_for(c.artifact.runtime_code).dead]
+    ratios = []
+    total = {"off": 0.0, "on": 0.0}
+    pruned = 0
+    for contract in pruned_contracts:
+        # warm the compile/analysis/surface caches outside the timed region
+        Fuzzer(contract.artifact,
+               mufuzz_config(iterations=2, rng_seed=7)).run()
+        for round_no in range(SURFACE_ROUNDS):
+            arms = ("off", "on") if round_no % 2 == 0 else ("on", "off")
+            elapsed = {}
+            for arm in arms:
+                fuzzer = Fuzzer(contract.artifact, mufuzz_config(
+                    iterations=iters, rng_seed=7,
+                    use_surface_pruning=arm == "on"))
+                start = time.perf_counter()
+                fuzzer.run()
+                elapsed[arm] = time.perf_counter() - start
+                total[arm] += elapsed[arm]
+                if arm == "on" and round_no == 0:
+                    pruned += len(fuzzer.bus.pruned)
+            ratios.append(elapsed["off"] / elapsed["on"])
+    ratios.sort()
+    return {
+        "speedup": round(ratios[len(ratios) // 2], 3) if ratios else None,
+        "oracles_pruned": pruned,
+        "contracts_with_dead_classes": len(pruned_contracts),
+        "contracts_total": len(contracts),
+        "iterations": iters,
+        "rounds": SURFACE_ROUNDS,
+        "pairs": len(ratios),
+    }
+
+
 def run_evm_bench(smoke: bool | None = None) -> dict:
     """Run both workloads and persist the variant entry in BENCH_evm.json."""
     if smoke is None:
@@ -258,11 +314,14 @@ def run_evm_bench(smoke: bool | None = None) -> dict:
         "d2": _state_cache_series(contracts, cache_iters),
         "d3": _state_cache_series(d3_sample, cache_iters),
     }
+    surface_pruning = _surface_pruning_series(
+        contracts, SURFACE_ITERS_SMOKE if smoke else SURFACE_ITERS)
     entry = {
         "replay": replay,
         "campaign": campaign,
         "telemetry_overhead": overhead,
         "state_cache": state_cache,
+        "surface_pruning": surface_pruning,
         "contracts": [c.name for c in contracts],
         "smoke": smoke,
     }
@@ -306,6 +365,11 @@ def test_evm_throughput(report):
                      f"campaign speedup, {series['hit_rate']:.0%} hit "
                      f"rate, {series['steps_saved']} steps fast-forwarded "
                      f"({series['pairs']} pairs)")
+    p = entry["surface_pruning"]
+    lines.append(f"  surface-pruning {p['speedup']}x campaign speedup, "
+                 f"{p['oracles_pruned']} oracle(s) pruned over "
+                 f"{p['contracts_with_dead_classes']}/{p['contracts_total']} "
+                 f"contracts ({p['pairs']} pairs)")
     report("evm_throughput", "\n".join(lines))
     assert entry["replay"]["steps_per_sec"] > 0
     # enabled telemetry must stay within the observability budget of the
@@ -322,6 +386,12 @@ def test_evm_throughput(report):
         assert series["speedup"] >= 1.0, (
             f"{corpus}: state cache slowed campaigns down "
             f"({series['speedup']}x)")
+    # surface pruning must actually drop oracles on this corpus and must
+    # never cost wall-clock (the floor sits a hair under 1.0 only to
+    # absorb shared-CI noise on a small effect)
+    assert p["oracles_pruned"] > 0, "surface pruned nothing on d2"
+    assert p["speedup"] >= 0.97, (
+        f"surface pruning slowed campaigns down ({p['speedup']}x)")
 
 
 if __name__ == "__main__":

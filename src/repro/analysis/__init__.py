@@ -4,9 +4,26 @@
 * :mod:`repro.analysis.cfg` — basic blocks and edges over the bytecode.
 * :mod:`repro.analysis.dataflow` — AST-level state-variable read/write and
   read-after-write analysis (§IV-A of the paper).
+* :mod:`repro.analysis.absint` — stack-symbolic abstract interpretation
+  over the CFG: a constant/taint lattice harvesting PUSH/compare
+  constants, SLOAD/SSTORE slot resolution, dispatcher selector entries,
+  and per-bug-class candidate pcs.
+* :mod:`repro.analysis.surface` — the per-contract
+  :class:`~repro.analysis.surface.VulnerabilitySurface`: sound
+  opcode-absence liveness proofs per bug class (the oracle-pruning gate),
+  per-selector storage slot sets (the bytecode-level dataflow used when
+  source is absent), and the mutation dictionary; cached process-wide per
+  sha256(code).
 * :mod:`repro.analysis.prefix` — lightweight path-prefix reachability of
-  vulnerable instructions (§IV-C, Algorithm 3 support).
+  vulnerable instructions (§IV-C, Algorithm 3 support), fast-pathed by the
+  surface's whole-code opcode facts.
 * :mod:`repro.analysis.distance` — branch-distance aggregation helpers.
+
+Division of labour between the last two analysis layers: *absint facts are
+heuristic guidance* (a missed fact costs throughput), while *surface
+liveness verdicts are proofs* (a wrong verdict costs findings) — so
+verdicts rest only on whole-code opcode absence over the linear
+disassembly, never on abstract interpretation.
 """
 
 from repro.analysis.disassembler import Instruction, disassemble, jumpi_pcs
@@ -15,6 +32,14 @@ from repro.analysis.dataflow import (
     FunctionDataflow,
     ContractDataflow,
     analyze_contract,
+)
+from repro.analysis.absint import AbstractFacts, AbsState, interpret
+from repro.analysis.surface import (
+    SelectorFacts,
+    SurfaceDataflow,
+    VulnerabilitySurface,
+    compute_surface,
+    surface_for,
 )
 from repro.analysis.prefix import PrefixAnalyzer
 from repro.analysis.distance import branch_distance_summary
@@ -29,6 +54,14 @@ __all__ = [
     "FunctionDataflow",
     "ContractDataflow",
     "analyze_contract",
+    "AbstractFacts",
+    "AbsState",
+    "interpret",
+    "SelectorFacts",
+    "SurfaceDataflow",
+    "VulnerabilitySurface",
+    "compute_surface",
+    "surface_for",
     "PrefixAnalyzer",
     "branch_distance_summary",
 ]

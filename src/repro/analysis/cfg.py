@@ -9,6 +9,7 @@ prefix-reachability analysis.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.analysis.disassembler import Instruction, disassemble
@@ -44,15 +45,26 @@ class CFG:
     """Basic blocks keyed by start pc."""
 
     blocks: dict = field(default_factory=dict)
+    #: sorted block starts for bisect lookup (rebuilt lazily when the block
+    #: map grows — ``build_cfg`` mutates ``blocks`` while carving)
+    _starts: list = field(default_factory=list, repr=False)
 
     def block_at(self, pc: int) -> BasicBlock | None:
-        """The block whose instruction range contains ``pc``."""
-        candidate = None
-        for start, block in self.blocks.items():
-            if start <= pc < block.end:
-                if candidate is None or start > candidate.start:
-                    candidate = block
-        return candidate
+        """The block whose instruction range contains ``pc``.
+
+        Blocks partition the instruction stream into disjoint pc ranges, so
+        the containing block (if any) is the one with the greatest start
+        ``<= pc`` — a single bisect probe.  This sits on the
+        prefix-reachability hot path and is called once per probed pc.
+        """
+        starts = self._starts
+        if len(starts) != len(self.blocks):
+            starts = self._starts = sorted(self.blocks)
+        index = bisect_right(starts, pc) - 1
+        if index < 0:
+            return None
+        block = self.blocks[starts[index]]
+        return block if pc < block.end else None
 
     def reachable_opcodes_from(self, start_pc: int) -> set:
         """All opcodes statically reachable from the block containing

@@ -39,15 +39,41 @@ class BranchReachability:
         return bool(self.taken or self.fallthrough)
 
 
-class PrefixAnalyzer:
-    """Per-contract cache of CFG reachability used by the energy scheduler."""
+_NO_REACH = BranchReachability(taken=frozenset(), fallthrough=frozenset())
 
-    def __init__(self, runtime_code: bytes) -> None:
+
+class PrefixAnalyzer:
+    """Per-contract cache of CFG reachability used by the energy scheduler.
+
+    When a :class:`~repro.analysis.surface.VulnerabilitySurface` is
+    supplied, two of its whole-code facts short-circuit the per-branch
+    work: if no vulnerable opcode exists anywhere in the code, every
+    reachability query is the empty set without a single CFG walk; and
+    per-bug-class candidate pcs become queryable via
+    :meth:`candidate_pcs`.
+    """
+
+    def __init__(self, runtime_code: bytes, surface=None) -> None:
         self.cfg: CFG = build_cfg(runtime_code)
+        self.surface = surface
         self._cache: dict[int, BranchReachability] = {}
+        #: whole-code absence proof: reachable ⊆ present, so an empty
+        #: intersection here makes every per-branch BFS pointless
+        self._any_vulnerable = (
+            surface is None
+            or bool(frozenset(surface.opcodes) & VULNERABLE_OPCODES))
+
+    def candidate_pcs(self, bug_class) -> tuple:
+        """Surface-derived candidate pcs for ``bug_class`` (empty without
+        a surface)."""
+        if self.surface is None:
+            return ()
+        return self.surface.candidates_for(bug_class)
 
     def reachability(self, jumpi_pc: int) -> BranchReachability:
         """Vulnerable-opcode reachability for the JUMPI at ``jumpi_pc``."""
+        if not self._any_vulnerable:
+            return _NO_REACH
         cached = self._cache.get(jumpi_pc)
         if cached is not None:
             return cached

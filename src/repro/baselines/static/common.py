@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.surface import surface_for
 from repro.evm.opcodes import Op
 from repro.lang import ast_nodes as ast
 from repro.oracles.base import BugClass
@@ -43,6 +44,14 @@ class StaticAnalyzer:
     name: str = "static"
     #: bug classes the tool supports (Table I row)
     supported: frozenset = frozenset()
+    #: bytecode tools filter their findings through the shared
+    #: :class:`~repro.analysis.surface.VulnerabilitySurface`: a class the
+    #: surface *proves* impossible (whole-code opcode absence) cannot
+    #: survive as a finding.  Semantically a no-op for the current pattern
+    #: set — every pattern implies the opcodes the proof checks — but it
+    #: pins the tools to the same soundness baseline as the fuzzer's
+    #: oracle pruning.  AST tools (Slither) leave this off.
+    uses_bytecode_surface: bool = False
     #: maximum CFG paths explored before the tool gives up (timeout)
     path_limit: int = 256
     #: maximum instructions along one path
@@ -65,6 +74,10 @@ class StaticAnalyzer:
             result.timeout = True
             result.findings.clear()
         result.findings &= set(self.supported)
+        if self.uses_bytecode_surface and result.ok:
+            surface = surface_for(artifact.runtime_code)
+            result.findings = {bc for bc in result.findings
+                               if surface.is_live(bc)}
         return result
 
     def _analyze(self, artifact, result: StaticAnalysisResult) -> None:
@@ -175,4 +188,28 @@ def call_forwards_gas(path, index: int) -> bool:
         return True
     if 0x60 <= prev.opcode <= 0x7F and prev.operand is not None:
         return prev.operand > 2300
+    return False
+
+
+def block_dep_branch(path) -> bool:
+    """Block-dependence pattern: a block-state read reaching a JUMPI."""
+    return (contains_in_order(path, Op.TIMESTAMP, Op.JUMPI)
+            or contains_in_order(path, Op.NUMBER, Op.JUMPI))
+
+
+def tainted_arithmetic(path, arith_ops) -> bool:
+    """Over-approximate IO pattern: a calldata word preceding arithmetic
+    on the path (no value reasoning — the tools' shared FP source)."""
+    return any(contains_in_order(path, Op.CALLDATALOAD, op)
+               for op in arith_ops)
+
+
+def reentrant_call(path) -> bool:
+    """No-write-after-call violation: a gas-forwarding CALL with a later
+    SSTORE on the same path — the RE pattern every bytecode tool shares."""
+    for index, ins in enumerate(path):
+        if ins.opcode == Op.CALL and call_forwards_gas(path, index) \
+                and any(later.opcode == Op.SSTORE
+                        for later in path[index + 1:]):
+            return True
     return False

@@ -11,8 +11,11 @@ from __future__ import annotations
 from repro.baselines.static.common import (
     StaticAnalysisResult,
     StaticAnalyzer,
+    block_dep_branch,
     call_forwards_gas,
     contains_in_order,
+    reentrant_call,
+    tainted_arithmetic,
 )
 from repro.evm.opcodes import Op
 from repro.oracles.base import BugClass
@@ -24,6 +27,7 @@ class Mythril(StaticAnalyzer):
         BugClass.BD, BugClass.UD, BugClass.IO, BugClass.RE, BugClass.US,
         BugClass.SE, BugClass.TO, BugClass.UE,
     })
+    uses_bytecode_surface = True
     path_limit = 192     # deeper than Oyente, but path explosion → timeout
     depth_limit = 4096
     # symbolic work budget: constraint solving makes Mythril spend minutes
@@ -34,13 +38,11 @@ class Mythril(StaticAnalyzer):
     def _analyze(self, artifact, result: StaticAnalysisResult) -> None:
         for path in self.explore_paths(artifact.runtime_code, result):
             ops = [ins.opcode for ins in path]
-            if (contains_in_order(path, Op.TIMESTAMP, Op.JUMPI)
-                    or contains_in_order(path, Op.NUMBER, Op.JUMPI)):
+            if block_dep_branch(path):
                 result.findings.add(BugClass.BD)
             if Op.DELEGATECALL in ops and not self._caller_guarded(path):
                 result.findings.add(BugClass.UD)
-            if contains_in_order(path, Op.CALLDATALOAD, Op.ADD) \
-                    or contains_in_order(path, Op.CALLDATALOAD, Op.SUB):
+            if tainted_arithmetic(path, (Op.ADD, Op.SUB)):
                 result.findings.add(BugClass.IO)
             if Op.SELFDESTRUCT in ops and not self._caller_guarded(path):
                 result.findings.add(BugClass.US)
@@ -48,16 +50,12 @@ class Mythril(StaticAnalyzer):
                 result.findings.add(BugClass.SE)
             if Op.ORIGIN in ops and (Op.EQ in ops or Op.JUMPI in ops):
                 result.findings.add(BugClass.TO)
+            if reentrant_call(path):
+                result.findings.add(BugClass.RE)
             for index, ins in enumerate(path):
-                if ins.opcode != Op.CALL:
-                    continue
-                if call_forwards_gas(path, index) and any(
-                        later.opcode == Op.SSTORE
-                        for later in path[index + 1:]):
-                    result.findings.add(BugClass.RE)
                 # unchecked call: success flag immediately discarded
-                if index + 1 < len(path) and \
-                        path[index + 1].opcode == Op.POP:
+                if ins.opcode == Op.CALL and index + 1 < len(path) \
+                        and path[index + 1].opcode == Op.POP:
                     result.findings.add(BugClass.UE)
 
     @staticmethod

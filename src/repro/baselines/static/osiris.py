@@ -13,8 +13,8 @@ from __future__ import annotations
 from repro.baselines.static.common import (
     StaticAnalysisResult,
     StaticAnalyzer,
-    call_forwards_gas,
-    contains_in_order,
+    block_dep_branch,
+    reentrant_call,
 )
 from repro.evm.opcodes import Op
 from repro.oracles.base import BugClass
@@ -25,6 +25,7 @@ _ARITH = (Op.ADD, Op.SUB)
 class Osiris(StaticAnalyzer):
     name = "Osiris"
     supported = frozenset({BugClass.BD, BugClass.IO, BugClass.RE})
+    uses_bytecode_surface = True
     path_limit = 128
     depth_limit = 2048
 
@@ -35,15 +36,11 @@ class Osiris(StaticAnalyzer):
             result.error = True
             return
         for path in self.explore_paths(artifact.runtime_code, result):
-            if (contains_in_order(path, Op.TIMESTAMP, Op.JUMPI)
-                    or contains_in_order(path, Op.NUMBER, Op.JUMPI)):
+            if block_dep_branch(path):
                 result.findings.add(BugClass.BD)
             self._check_io(path, result)
-            for index, ins in enumerate(path):
-                if ins.opcode == Op.CALL and call_forwards_gas(path, index):
-                    if any(later.opcode == Op.SSTORE
-                           for later in path[index + 1:]):
-                        result.findings.add(BugClass.RE)
+            if reentrant_call(path):
+                result.findings.add(BugClass.RE)
 
     def _check_io(self, path, result: StaticAnalysisResult) -> None:
         # Pass 1: is there a relational guard anywhere after calldata enters

@@ -14,8 +14,9 @@ from __future__ import annotations
 from repro.baselines.static.common import (
     StaticAnalysisResult,
     StaticAnalyzer,
-    call_forwards_gas,
-    contains_in_order,
+    block_dep_branch,
+    reentrant_call,
+    tainted_arithmetic,
 )
 from repro.evm.opcodes import Op
 from repro.oracles.base import BugClass
@@ -24,6 +25,7 @@ from repro.oracles.base import BugClass
 class Oyente(StaticAnalyzer):
     name = "Oyente"
     supported = frozenset({BugClass.BD, BugClass.IO, BugClass.RE})
+    uses_bytecode_surface = True
     path_limit = 96    # shallow exploration: misses deeply branching code
     depth_limit = 1024
 
@@ -43,17 +45,11 @@ class Oyente(StaticAnalyzer):
             sampled += 1
             if sampled > self.SAMPLE_LIMIT:
                 return
-            if (contains_in_order(path, Op.TIMESTAMP, Op.JUMPI)
-                    or contains_in_order(path, Op.NUMBER, Op.JUMPI)):
+            if block_dep_branch(path):
                 result.findings.add(BugClass.BD)
             # Over-approximate IO: arithmetic on values derived from
             # calldata, with no value reasoning at all.
-            if contains_in_order(path, Op.CALLDATALOAD, Op.ADD) \
-                    or contains_in_order(path, Op.CALLDATALOAD, Op.SUB) \
-                    or contains_in_order(path, Op.CALLDATALOAD, Op.MUL):
+            if tainted_arithmetic(path, (Op.ADD, Op.SUB, Op.MUL)):
                 result.findings.add(BugClass.IO)
-            for index, ins in enumerate(path):
-                if ins.opcode == Op.CALL and call_forwards_gas(path, index):
-                    if any(later.opcode == Op.SSTORE
-                           for later in path[index + 1:]):
-                        result.findings.add(BugClass.RE)
+            if reentrant_call(path):
+                result.findings.add(BugClass.RE)

@@ -12,6 +12,7 @@ from repro.baselines.static.common import (
     StaticAnalysisResult,
     StaticAnalyzer,
     call_forwards_gas,
+    reentrant_call,
 )
 from repro.evm.opcodes import Op
 from repro.oracles.base import BugClass
@@ -20,22 +21,19 @@ from repro.oracles.base import BugClass
 class Securify(StaticAnalyzer):
     name = "Securify"
     supported = frozenset({BugClass.RE, BugClass.UE})
+    uses_bytecode_surface = True
     path_limit = 160
     depth_limit = 4096
 
     def _analyze(self, artifact, result: StaticAnalysisResult) -> None:
         for path in self.explore_paths(artifact.runtime_code, result):
+            if reentrant_call(path):
+                result.findings.add(BugClass.RE)
             for index, ins in enumerate(path):
-                if ins.opcode != Op.CALL:
-                    continue
-                if call_forwards_gas(path, index) and any(
-                        later.opcode == Op.SSTORE
-                        for later in path[index + 1:]):
-                    result.findings.add(BugClass.RE)
                 # handled-exception pattern: only `send` (2300-gas) calls —
                 # gas-forwarding low-level calls are out of the property's
                 # scope, a documented source of Securify false negatives
-                if index + 1 < len(path) \
+                if ins.opcode == Op.CALL and index + 1 < len(path) \
                         and path[index + 1].opcode == Op.POP \
                         and not call_forwards_gas(path, index):
                     result.findings.add(BugClass.UE)

@@ -8,7 +8,7 @@ Commands
 ``replay PATH``    re-trigger persisted findings from their witnesses
 ``compile FILE``   compile and print bytecode size, ABI, storage layout
 ``disasm FILE``    disassemble the runtime bytecode
-``analyze FILE``   print the sequence-aware data-flow analysis (§IV-A)
+``analyze FILE``   print the vulnerability surface + data-flow analysis
 ``scan FILE``      run the five static-analyzer models
 ``corpus``         generate and summarize the benchmark corpora
 
@@ -88,6 +88,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "shared prefixes instead of re-executing them "
                            "(default: on; a pure performance layer — "
                            "results are byte-identical either way)")
+    fuzz.add_argument("--surface-pruning",
+                      action=argparse.BooleanOptionalAction, default=None,
+                      help="drop oracles whose bug class the vulnerability "
+                           "surface proves impossible (whole-code opcode "
+                           "absence, never a reachability heuristic) "
+                           "(default: on; results are byte-identical "
+                           "either way)")
     fuzz.add_argument("--state-cache-capacity", type=int, default=None,
                       metavar="N",
                       help="memoized prefix states to keep (default: 64; "
@@ -173,6 +180,12 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="N",
                       help="per-campaign memoized prefix states to keep "
                            "(default: 64)")
+    camp.add_argument("--surface-pruning",
+                      action=argparse.BooleanOptionalAction, default=None,
+                      help="pin surface-proof oracle pruning on or off for "
+                           "every campaign in the matrix (default: the "
+                           "config default, on; results are byte-identical "
+                           "either way)")
     camp.add_argument("--telemetry", action="store_true",
                       help="collect per-job telemetry and worker "
                            "heartbeats; with --results-dir the scheduler "
@@ -209,11 +222,16 @@ def build_parser() -> argparse.ArgumentParser:
     for name, help_text in (
             ("compile", "compile and show artifact summary"),
             ("disasm", "disassemble runtime bytecode"),
-            ("analyze", "show the data-flow / sequence analysis"),
+            ("analyze", "show the vulnerability surface and data-flow "
+                        "analysis"),
             ("scan", "run the static-analyzer models")):
         cmd = sub.add_parser(name, help=help_text)
         cmd.add_argument("file")
         cmd.add_argument("--contract", default=None)
+        if name == "analyze":
+            cmd.add_argument("--json", action="store_true",
+                             help="emit the surface report as canonical "
+                                  "JSON instead of tables")
 
     corpus = sub.add_parser("corpus", help="generate benchmark corpora")
     corpus.add_argument("--dataset", choices=("d1", "d2", "d3"),
@@ -333,6 +351,8 @@ def cmd_fuzz(args) -> int:
             log.error("error: --state-cache-capacity must be >= 1")
             return 2
         overrides["state_cache_capacity"] = args.state_cache_capacity
+    if args.surface_pruning is not None:
+        overrides["use_surface_pruning"] = args.surface_pruning
     config = PRESET_CONFIGS[args.fuzzer](rng_seed=args.seed, **overrides)
 
     session = None
@@ -509,6 +529,7 @@ def cmd_campaign(args) -> int:
         checkpoint_every=args.checkpoint_every, oracles=oracles,
         state_cache=args.state_cache,
         state_cache_capacity=args.state_cache_capacity,
+        surface_pruning=args.surface_pruning,
         telemetry=telemetry)
 
     if run.results_dir is not None:
@@ -731,21 +752,69 @@ def cmd_disasm(args) -> int:
 
 
 def cmd_analyze(args) -> int:
+    from repro.analysis.surface import surface_for
+    from repro.engine.checkpoint import canonical_json
+
     artifact = _load(args)
-    dataflow = analyze_contract(artifact.contract_ast)
-    rows = []
-    for fn_name, df in dataflow.functions.items():
-        rows.append([fn_name,
-                     ",".join(sorted(df.reads)) or "-",
-                     ",".join(sorted(df.writes)) or "-",
-                     ",".join(sorted(df.branch_reads)) or "-",
-                     ",".join(sorted(df.raw_self_deps)) or "-"])
+    surface = surface_for(artifact.runtime_code)
+    if args.json:
+        log.info(canonical_json(surface.to_dict()))
+        return 0
+
+    rows = [[code,
+             "live" if code in surface.live else "dead",
+             surface.proofs.get(code, "-")]
+            for code in sorted(surface.live + surface.dead)]
     log.info(format_table(
-        ["function", "reads", "writes", "branch reads", "RAW self-deps"],
-        rows, title=f"data-flow analysis of {artifact.name}"))
+        ["class", "verdict", "proof"],
+        rows, title=f"vulnerability surface of {artifact.name} "
+                    f"({surface.instruction_count} instructions)"))
     log.info("")
-    log.info(f"write→read edges: {dataflow.write_read_edges()}")
-    log.info(f"repeat candidates: {sorted(dataflow.repeat_candidates())}")
+
+    rows = []
+    for sel in sorted(surface.selectors):
+        facts = surface.selectors[sel]
+        fn = artifact.abi.by_selector(sel)
+        rows.append([fn.name if fn is not None else f"{sel:#010x}",
+                     ",".join(str(s) for s in facts.reads) or "-",
+                     ",".join(str(s) for s in facts.writes) or "-",
+                     ",".join(str(s) for s in facts.branch_reads) or "-",
+                     ",".join(str(s) for s in facts.self_deps) or "-"])
+    if rows:
+        log.info(format_table(
+            ["function", "read slots", "write slots", "branch reads",
+             "RAW self-deps"],
+            rows, title="per-selector storage facts (bytecode-level)"))
+        log.info("")
+
+    candidates = {code: len(surface.candidate_pcs.get(code, ()))
+                  for code in surface.live
+                  if surface.candidate_pcs.get(code)}
+    log.info(f"dictionary constants: {len(surface.dictionary_constants)}")
+    log.info(f"candidate pcs: "
+             + (", ".join(f"{c}={n}" for c, n in sorted(candidates.items()))
+                or "none"))
+    log.info(f"call sites: {len(surface.calls)}")
+
+    if artifact.contract_ast is not None:
+        log.info("")
+        dataflow = analyze_contract(artifact.contract_ast)
+        rows = []
+        for fn_name, df in dataflow.functions.items():
+            rows.append([fn_name,
+                         ",".join(sorted(df.reads)) or "-",
+                         ",".join(sorted(df.writes)) or "-",
+                         ",".join(sorted(df.branch_reads)) or "-",
+                         ",".join(sorted(df.raw_self_deps)) or "-"])
+        log.info(format_table(
+            ["function", "reads", "writes", "branch reads",
+             "RAW self-deps"],
+            rows, title=f"source-level data-flow analysis of "
+                        f"{artifact.name}"))
+        log.info("")
+        log.info(f"write→read edges: {dataflow.write_read_edges()}")
+        log.info(f"repeat candidates: "
+                 f"{sorted(dataflow.repeat_candidates())}")
     return 0
 
 

@@ -85,6 +85,14 @@ class FuzzerConfig:
     use_state_cache: bool = True
     state_cache_capacity: int = 64
 
+    # Vulnerability-surface oracle pruning: oracles whose bug class the
+    # static surface *proves* impossible (whole-code opcode absence, never
+    # reachability — see repro.analysis.surface) are dropped from the bus,
+    # so their event kinds are never materialized.  On by default and
+    # opt-out (--no-surface-pruning): the golden-fixture guard pins
+    # campaign results byte-identical with pruning on or off.
+    use_surface_pruning: bool = True
+
     # execution environment
     tx_gas: int = 5_000_000
     max_steps_per_tx: int = 60_000

@@ -35,6 +35,7 @@ import random
 from time import perf_counter as _perf_counter
 
 from repro.analysis.dataflow import analyze_contract
+from repro.analysis.surface import SurfaceDataflow, surface_for
 from repro.analysis.distance import distances_from_trace
 from repro.analysis.prefix import PrefixAnalyzer
 from repro.chain.agents import BenignAgent, ReentrantAgent, RejectingAgent
@@ -102,6 +103,12 @@ def _collect_oracle_span() -> None:
 
 _metrics.register_collector(_collect_oracle_span)
 
+#: surface-layer campaign counters: how many oracles the liveness proofs
+#: pruned and how many dictionary constants the static harvest fed the
+#: mutation pipeline (once per campaign — no-op while telemetry is off)
+_T_SURFACE_PRUNED = _metrics.counter("analysis.surface.oracles_pruned")
+_T_SURFACE_CONSTANTS = _metrics.counter("analysis.surface.dict_constants")
+
 #: fixed account addresses used by every campaign
 DEPLOYER = 0x00D0_0001
 USER_1 = 0x00CA_FE01
@@ -123,12 +130,23 @@ class Fuzzer:
         self.supported_bug_classes = supported_bug_classes
         self.rng = random.Random(self.config.rng_seed)
         self.budget = Budget.from_config(self.config)
-        self.dataflow = analyze_contract(artifact.contract_ast)
-        self.prefix = PrefixAnalyzer(artifact.runtime_code)
+        #: the static vulnerability surface (process-cached per bytecode):
+        #: liveness proofs gate oracle pruning, the constant harvest feeds
+        #: the mutation dictionary, and candidate pcs feed the prefix
+        #: analyzer — the facts are computed whether or not pruning is on,
+        #: so ``use_surface_pruning`` toggles *only* the oracle drop
+        self.surface = surface_for(artifact.runtime_code)
+        if artifact.contract_ast is not None:
+            self.dataflow = analyze_contract(artifact.contract_ast)
+        else:
+            # source-absent path: bytecode-level per-selector slot facts
+            self.dataflow = SurfaceDataflow(self.surface, artifact.abi)
+        self.prefix = PrefixAnalyzer(artifact.runtime_code,
+                                     surface=self.surface)
         self.seqgen = SequenceGenerator(
             artifact.contract_ast, self.dataflow, self.rng,
             self.config.sequence_strategy, self.config.max_sequence_length)
-        self.constants = self._harvest_constants()
+        self.constants = self.surface.dictionary_constants
         self.mutator = SeedMutator(self.rng, self.constants)
         self.scheduler = EnergyScheduler(
             strategy=self.config.energy_strategy, prefix=self.prefix,
@@ -157,8 +175,16 @@ class Fuzzer:
         #: the streaming oracle bus: oracles receive the trace events they
         #: subscribe to while each transaction executes, and the machine
         #: materializes only the event kinds someone consumes — the
-        #: feedback loop needs branches, everything else is oracle-driven
-        self.bus = OracleBus(self.oracles, self.ctx, self.collector)
+        #: feedback loop needs branches, everything else is oracle-driven.
+        #: Surface pruning drops oracles whose bug class the static layer
+        #: proved impossible (whole-code opcode absence), shrinking the
+        #: mask further; results stay byte-identical by construction.
+        dead = (self.surface.dead_set() if self.config.use_surface_pruning
+                else frozenset())
+        self.bus = OracleBus(self.oracles, self.ctx, self.collector,
+                             dead_classes=dead)
+        _T_SURFACE_PRUNED.add(len(self.bus.pruned))
+        _T_SURFACE_CONSTANTS.add(len(self.constants))
         self.base_chain.event_mask = EV_BRANCH | self.bus.mask
         self.base_chain.oracle_bus = self.bus
         #: loop position; populated by :meth:`run` or :meth:`resume`
@@ -221,17 +247,11 @@ class Fuzzer:
         chain.mark_base()
 
     def _harvest_constants(self) -> tuple:
-        """PUSH immediates from the runtime code, used as interesting input
-        values (how real smart-contract fuzzers cross magic-value guards)."""
-        from repro.analysis.disassembler import disassemble
-        values = set()
-        for ins in disassemble(self.artifact.runtime_code):
-            # PUSH3 and wider: genuine program constants (PUSH1/PUSH2 are
-            # dominated by memory offsets and jump labels).
-            if ins.operand is not None and ins.size >= 4 \
-                    and 2 < ins.operand < (1 << 130):
-                values.add(ins.operand)
-        return tuple(sorted(values))
+        """The mutation dictionary: wide PUSH immediates plus constants the
+        code compares against input-derived values (how real fuzzers cross
+        magic-value guards).  Harvested by the vulnerability surface —
+        see :func:`repro.analysis.surface.compute_surface`."""
+        return self.surface.dictionary_constants
 
     # -- seed construction ----------------------------------------------------------
 

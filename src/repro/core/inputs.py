@@ -34,9 +34,11 @@ INTERESTING_VALUES = (
 class InputGenerator:
     """Draws typed argument values and msg.value for transactions.
 
-    ``extra_constants`` carries values harvested from the contract's PUSH
-    immediates — the standard trick (used by sFuzz, ConFuzzius, and
-    Smartian alike) that makes ``require(x == MAGIC)`` gates crossable.
+    ``extra_constants`` carries the vulnerability surface's mutation
+    dictionary: the contract's wide PUSH immediates plus the constants
+    its guards compare against tainted values — the standard trick (used
+    by sFuzz, ConFuzzius, and Smartian alike) that makes
+    ``require(x == MAGIC)`` gates crossable.
     """
 
     def __init__(self, rng: random.Random, account_pool,

@@ -184,9 +184,10 @@ def _sample_positions(length: int, limit: int) -> list:
 class SeedMutator:
     """Input-level mutation: AFL-style (baselines) or mask-guided (MuFuzz).
 
-    ``constants`` is the PUSH-immediate dictionary harvested from the
-    contract; the word-level mutations draw from it like AFL's ``-x``
-    dictionary mode.
+    ``constants`` is the vulnerability surface's mutation dictionary
+    (PUSH immediates plus guard-comparison constants harvested by the
+    abstract interpreter); the word-level mutations draw from it like
+    AFL's ``-x`` dictionary mode.
     """
 
     def __init__(self, rng: random.Random, constants=()) -> None:

@@ -48,22 +48,39 @@ class OracleBus:
         Optional :class:`~repro.oracles.base.FindingCollector`; used to
         decide which findings are *new* (only those pay for witness
         serialization).
+    dead_classes:
+        Bug-class codes the vulnerability surface *proved* impossible for
+        the contract under test (whole-code opcode absence — see
+        :mod:`repro.analysis.surface`).  Their oracles are dropped from
+        every dispatch table and from the subscription mask, so the event
+        kinds only they consume are never materialized.  ``self.oracles``
+        keeps the full registry-ordered list (checkpoints key oracle state
+        by bug class, so capture/restore is pruning-agnostic); only the
+        live subset participates in dispatch and settlement.
     """
 
     def __init__(self, oracles, ctx: OracleContext,
-                 collector: FindingCollector | None = None) -> None:
+                 collector: FindingCollector | None = None,
+                 dead_classes: frozenset = frozenset()) -> None:
         self.oracles = list(oracles)
         self.ctx = ctx
         ctx.witness_provider = self.current_witness
         self.collector = collector
-        #: union of the oracles' subscriptions — the machine's event mask
+        #: oracles whose bug class survived surface pruning, registry order
+        self.live_oracles = [
+            o for o in self.oracles
+            if o.bug_class.value not in dead_classes]
+        #: bug classes of the oracles pruned away, registry order
+        self.pruned = tuple(o.bug_class for o in self.oracles
+                            if o.bug_class.value in dead_classes)
+        #: union of the live oracles' subscriptions — the machine's mask
         self.mask = 0
-        for oracle in self.oracles:
+        for oracle in self.live_oracles:
             self.mask |= oracle.subscriptions
         #: per-kind tuples of *bound* ``on_event`` methods (binding once
         #: per campaign keeps the per-event dispatch to a plain call)
         self._subs = {
-            kind: tuple(o.on_event for o in self.oracles
+            kind: tuple(o.on_event for o in self.live_oracles
                         if o.subscriptions & kind)
             for kind in (EV_BRANCH, EV_COMPARE, EV_CALL, EV_OVERFLOW,
                          EV_STORAGE, EV_SELFDESTRUCT, EV_BLOCK, EV_ETHER)
@@ -76,17 +93,20 @@ class OracleBus:
                          EV_STORAGE, EV_SELFDESTRUCT, EV_BLOCK, EV_ETHER))
         #: oracles holding transactional (state-effect) buffers
         self._transactional = tuple(
-            o for o in self.oracles if o.subscriptions & EV_STATE_EFFECTS)
+            o for o in self.live_oracles
+            if o.subscriptions & EV_STATE_EFFECTS)
         #: bound per-transaction hooks (one method lookup per campaign,
         #: not one per transaction)
-        self._begin_hooks = tuple(o.begin_transaction for o in self.oracles)
-        self._end_hooks = tuple(o.end_transaction for o in self.oracles)
+        self._begin_hooks = tuple(o.begin_transaction
+                                  for o in self.live_oracles)
+        self._end_hooks = tuple(o.end_transaction for o in self.live_oracles)
         #: the state-cache fast-forward path only replays memoized
         #: transactions through oracles that keep cross-transaction state
         #: (``replay_sensitive``) — a transaction-local oracle fed an
         #: already-settled receipt could only re-emit duplicates the
         #: campaign collector drops anyway
-        replay_oracles = tuple(o for o in self.oracles if o.replay_sensitive)
+        replay_oracles = tuple(o for o in self.live_oracles
+                               if o.replay_sensitive)
         self._replay_subs = {
             kind: tuple(o.on_event for o in replay_oracles
                         if o.subscriptions & kind)
@@ -211,9 +231,11 @@ class OracleBus:
 
     def finalize(self) -> list:
         """End-of-campaign findings (whole-campaign oracles attach their
-        own witnesses — see the ether-freeze oracle)."""
+        own witnesses — see the ether-freeze oracle).  Pruned oracles are
+        skipped: their liveness proof means finalize could only ever
+        return empty anyway."""
         findings = []
-        for oracle in self.oracles:
+        for oracle in self.live_oracles:
             findings.extend(oracle.finalize(self.ctx))
         return findings
 

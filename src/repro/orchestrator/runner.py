@@ -214,6 +214,7 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
                oracles=None,
                state_cache: bool | None = None,
                state_cache_capacity: int | None = None,
+               surface_pruning: bool | None = None,
                telemetry: bool = False,
                heartbeat_every: float | None = None,
                on_heartbeat=None) -> MatrixRun:
@@ -245,7 +246,10 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
     state cache (``use_state_cache``/``state_cache_capacity`` config
     overrides) for every campaign in the matrix; ``None`` leaves the
     config default (cache on).  The cache is a pure performance layer —
-    results are byte-identical either way.
+    results are byte-identical either way.  ``surface_pruning`` likewise
+    pins ``use_surface_pruning`` (oracle pruning from the vulnerability
+    surface's opcode-absence proofs) with the same byte-identity
+    guarantee.
 
     ``telemetry=True`` collects per-job metrics/span deltas (merged into
     ``MatrixRun.stats.telemetry``, embedded in result records) and turns
@@ -263,10 +267,12 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
             raise ValueError("oracles given both directly and as a "
                              "bug_classes override; pass it one way")
         overrides["bug_classes"] = list(normalize_bug_classes(oracles))
-    if state_cache is not None or state_cache_capacity is not None:
+    if (state_cache is not None or state_cache_capacity is not None
+            or surface_pruning is not None):
         overrides = dict(overrides or {})
         for key, value in (("use_state_cache", state_cache),
-                           ("state_cache_capacity", state_cache_capacity)):
+                           ("state_cache_capacity", state_cache_capacity),
+                           ("use_surface_pruning", surface_pruning)):
             if value is None:
                 continue
             if key in overrides:

@@ -1,11 +1,20 @@
 """Unit tests for the analysis layer: disassembler, CFG, data-flow, prefix."""
 
+import pytest
+
 from repro.analysis import (
     analyze_contract,
     build_cfg,
     disassemble,
     jumpi_pcs,
     PrefixAnalyzer,
+)
+from repro.analysis import surface as surface_mod
+from repro.analysis.surface import (
+    BUG_CLASS_CODES,
+    SurfaceDataflow,
+    compute_surface,
+    surface_for,
 )
 from repro.analysis.distance import (
     UNSEEN_DISTANCE,
@@ -17,6 +26,7 @@ from repro.evm.opcodes import Op
 from repro.evm.trace import BranchEvent, ExecutionTrace
 from repro.lang.parser import parse_source
 from tests.conftest import CROWDSALE_SOURCE
+from tests.test_oracles import Harness
 
 
 class TestDisassembler:
@@ -233,3 +243,242 @@ class TestDistances:
     def test_seed_distance_unseen(self):
         trace = self._trace_with_branch()
         assert seed_distance(trace, (1, 999, True)) == UNSEEN_DISTANCE
+
+
+# -- vulnerability surface: per-class dead/live contract pairs (PR 8) ---------
+#
+# For every bug class, one contract the surface *proves* impossible (dead:
+# the class's opcodes are absent from the whole code) and one where it stays
+# live AND the corresponding oracle actually finds the bug end to end — so
+# the pruning proofs are exercised against ground truth in both directions.
+
+
+class TestSurfaceDeadLivePairs:
+    DEAD = {
+        # no block-environment opcode anywhere (arithmetic is irrelevant)
+        "BD": """
+        contract T {
+            uint256 total = 0;
+            function add(uint256 v) public { total += v; }
+        }
+        """,
+        # a plain CALL (send) but no DELEGATECALL
+        "UD": """
+        contract T {
+            function pay(address to, uint256 v) public {
+                require(to.send(v));
+            }
+        }
+        """,
+        # ether can leave via transfer's CALL — freeze needs *no* send path
+        "EF": """
+        contract T {
+            function put() public payable {}
+            function take(uint256 v) public { msg.sender.transfer(v); }
+        }
+        """,
+        # storage writes without any ADD/SUB/MUL
+        "IO": """
+        contract T {
+            uint256 stored = 0;
+            function set(uint256 v) public { stored = v; }
+        }
+        """,
+        # no external call at all
+        "RE": """
+        contract T {
+            uint256 x = 0;
+            function poke() public { x = 1; }
+        }
+        """,
+        # no SELFDESTRUCT
+        "US": """
+        contract T {
+            uint256 x = 0;
+            function poke() public { x = 1; }
+        }
+        """,
+        # EQ on a calldata word, but no BALANCE read
+        "SE": """
+        contract T {
+            uint256 ok = 0;
+            function check(uint256 v) public { if (v == 88) { ok = 1; } }
+        }
+        """,
+        # CALLER-based auth, no ORIGIN
+        "TO": """
+        contract T {
+            address owner;
+            constructor() public { owner = msg.sender; }
+            function claim() public { require(msg.sender == owner); }
+        }
+        """,
+        # no external call whose result could go unchecked
+        "UE": """
+        contract T {
+            uint256 x = 0;
+            function poke() public { x = 1; }
+        }
+        """,
+    }
+
+    LIVE = {
+        "BD": ("""
+        contract T {
+            uint256 wins = 0;
+            function roll() public {
+                if (block.timestamp % 10 == 3) { wins += 1; }
+            }
+        }
+        """, 10 ** 18, lambda h: h.call("roll")),
+        "UD": ("""
+        contract T {
+            function run(address target, uint256 data) public {
+                target.delegatecall(data);
+            }
+        }
+        """, 10 ** 18, lambda h: h.call("run", 0xB0B, 1)),
+        "EF": ("""
+        contract T {
+            mapping(address => uint256) deposits;
+            function put() public payable {
+                deposits[msg.sender] += msg.value;
+            }
+        }
+        """, 0, lambda h: h.call("put", value=1000)),
+        "IO": ("""
+        contract T {
+            uint256 total = 0;
+            function add(uint256 v) public { total += v; }
+        }
+        """, 10 ** 18, lambda h: (h.call("add", (1 << 256) - 1),
+                                  h.call("add", 2))),
+        "RE": ("""
+        contract T {
+            mapping(address => uint256) shares;
+            function join() public payable {
+                shares[msg.sender] += msg.value;
+            }
+            function redeem() public {
+                uint256 owed = shares[msg.sender];
+                if (owed > 0) {
+                    bool sent = msg.sender.call.value(owed)();
+                    require(sent);
+                    shares[msg.sender] = 0;
+                }
+            }
+        }
+        """, 10 ** 18, lambda h: (
+            h.call("join", sender=0xA11CE, value=10_000, arm=False),
+            h.call("join", sender=0x999, value=1_000, arm=False),
+            h.call("redeem", sender=0x999))),
+        "US": ("""
+        contract T {
+            function kill() public { selfdestruct(msg.sender); }
+        }
+        """, 10 ** 18, lambda h: h.call("kill", sender=0xB0B)),
+        "SE": ("""
+        contract T {
+            uint256 bonus = 0;
+            function check() public {
+                if (this.balance == 88 finney) { bonus = 1; }
+            }
+        }
+        """, 10 ** 18, lambda h: h.call("check")),
+        "TO": ("""
+        contract T {
+            address owner;
+            constructor() public { owner = msg.sender; }
+            function claim() public { require(tx.origin == owner); }
+        }
+        """, 10 ** 18, lambda h: h.call("claim")),
+        "UE": ("""
+        contract T {
+            function pay(address to, uint256 v) public { to.send(v); }
+        }
+        """, 10 ** 18, lambda h: h.call("pay", 0x888, 100)),
+    }
+
+    @pytest.mark.parametrize("code", sorted(BUG_CLASS_CODES))
+    def test_dead_contract_is_proved_impossible(self, code):
+        artifact = compile_source(self.DEAD[code])
+        surface = compute_surface(artifact.runtime_code)
+        assert code in surface.dead
+        assert not surface.is_live(code)
+        assert surface.proofs[code]
+
+    @pytest.mark.parametrize("code", sorted(BUG_CLASS_CODES))
+    def test_live_contract_stays_live_and_oracle_fires(self, code):
+        source, deploy_value, drive = self.LIVE[code]
+        artifact = compile_source(source)
+        surface = compute_surface(artifact.runtime_code)
+        assert surface.is_live(code)
+        assert code not in surface.dead
+
+        harness = Harness(source, deploy_value=deploy_value)
+        drive(harness)
+        found = harness.finalize()
+        assert code in {bc.value for bc in found}
+
+
+class TestSurfaceCache:
+    def test_cache_hits_on_same_code(self):
+        surface_mod.clear_cache()
+        artifact = compile_source(CROWDSALE_SOURCE)
+        first = surface_for(artifact.runtime_code)
+        second = surface_for(artifact.runtime_code)
+        assert first is second
+        stats = surface_mod.cache_stats()
+        assert stats["hits"] >= 1 and stats["misses"] >= 1
+
+    def test_cached_surface_equals_fresh_compute(self):
+        artifact = compile_source(CROWDSALE_SOURCE)
+        cached = surface_for(artifact.runtime_code)
+        fresh = compute_surface(artifact.runtime_code)
+        assert cached.to_dict() == fresh.to_dict()
+
+    def test_to_dict_is_deterministic(self):
+        artifact = compile_source(CROWDSALE_SOURCE)
+        a = compute_surface(artifact.runtime_code).to_dict()
+        b = compute_surface(artifact.runtime_code).to_dict()
+        assert a == b
+
+
+class TestSurfaceDataflowAdapter:
+    """Bytecode-level dataflow drives sequencing when source is absent."""
+
+    def _surface_dataflow(self):
+        artifact = compile_source(CROWDSALE_SOURCE)
+        surface = compute_surface(artifact.runtime_code)
+        return artifact, SurfaceDataflow(surface, artifact.abi)
+
+    def test_external_names_follow_abi_order(self):
+        artifact, dataflow = self._surface_dataflow()
+        assert list(dataflow.external_names()) == \
+            [fn.name for fn in artifact.abi.functions]
+
+    def test_repeat_candidates_match_source_analysis(self):
+        artifact, dataflow = self._surface_dataflow()
+        ast_flow = analyze_contract(artifact.contract_ast)
+        assert dataflow.repeat_candidates() == ast_flow.repeat_candidates()
+
+    def test_write_read_edges_resolve_slot_names(self):
+        _, dataflow = self._surface_dataflow()
+        edges = dataflow.write_read_edges()
+        assert any(w == "invest" and r == "refund" for w, r, _ in edges)
+        assert all(slot.startswith("slot") for _, _, slot in edges)
+
+    def test_sequence_generator_runs_without_ast(self):
+        import random
+
+        from repro.core import config as core_config
+        from repro.core.sequence import SequenceGenerator
+
+        _, dataflow = self._surface_dataflow()
+        gen = SequenceGenerator(
+            None, dataflow, random.Random(7),
+            strategy=core_config.SEQ_DATAFLOW_REPEAT)
+        seq = gen.base_sequence()
+        assert seq
+        assert set(seq) <= set(dataflow.external_names())
+        assert gen.repeat_candidates() == {"invest"}

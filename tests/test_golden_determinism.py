@@ -47,6 +47,14 @@ _STATE_CACHE = os.environ.get("REPRO_STATE_CACHE")
 if _STATE_CACHE is not None:
     OVERRIDES["use_state_cache"] = _STATE_CACHE == "1"
 
+# Same contract for surface-proof oracle pruning: dropping oracles whose
+# bug class the vulnerability surface proves impossible must not move a
+# single byte of the results.  REPRO_SURFACE_PRUNING pins it so CI sweeps
+# both modes against the one fixture.
+_SURFACE_PRUNING = os.environ.get("REPRO_SURFACE_PRUNING")
+if _SURFACE_PRUNING is not None:
+    OVERRIDES["use_surface_pruning"] = _SURFACE_PRUNING == "1"
+
 
 def _golden_contracts() -> list:
     d2 = generate_d2()
@@ -145,6 +153,22 @@ def test_state_cache_is_transparent_to_golden_fixture(use_cache):
     assert got == GOLDEN_PATH.read_text(), \
         (f"use_state_cache={use_cache} diverged from the golden fixture — "
          f"the state cache is supposed to be a pure performance layer")
+
+
+@pytest.mark.parametrize("use_pruning", [False, True],
+                         ids=["pruning-off", "pruning-on"])
+def test_surface_pruning_is_transparent_to_golden_fixture(use_pruning):
+    """One fixture, both pruning modes: oracles dropped on the surface's
+    opcode-absence proofs could never have fired, so campaign results must
+    stay byte-identical with pruning on or off (the guard behind
+    ``use_surface_pruning=True`` by default)."""
+    assert GOLDEN_PATH.exists(), \
+        "golden fixture missing — see module docstring to regenerate"
+    got = _canonical_run("inline", use_surface_pruning=use_pruning)
+    assert got == GOLDEN_PATH.read_text(), \
+        (f"use_surface_pruning={use_pruning} diverged from the golden "
+         f"fixture — pruned oracles must be provably-dead, never merely "
+         f"unlikely")
 
 
 def test_golden_findings_replay_from_witnesses():

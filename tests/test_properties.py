@@ -2,7 +2,7 @@
 
 import random
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.chain.blockchain import BlockContext
@@ -20,6 +20,11 @@ from repro.core.seeds import TxCall
 from repro.evm.machine import Machine, Message, keccak
 from repro.evm.opcodes import Op
 from repro.evm.trace import combine_and, combine_or, comparison_shadow
+from repro.analysis.absint import transfer_block
+from repro.analysis.cfg import build_cfg
+from repro.analysis.disassembler import disassemble
+from repro.evm.analysis import analyze_code
+from repro.evm.opcodes import is_push
 from repro.lang.parser import parse_source
 
 U256 = 1 << 256
@@ -267,3 +272,77 @@ class TestCompilerProperties:
         else:
             expected = a % b if b else 0
         assert got == expected
+
+
+# -- disassembly / abstract-interpretation properties (PR 8) ------------------
+
+
+class TestDisassemblyProperties:
+    """The linear disassembly is the decode the machine executes."""
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=200)
+    def test_disassembly_partitions_code(self, code):
+        """Instruction extents tile [0, len(code)) exactly: consecutive,
+        gap-free, starting at 0 (a truncated trailing PUSH may extend
+        past the end — its immediate reads as zero-padded)."""
+        instructions = disassemble(code)
+        if not code:
+            assert instructions == []
+            return
+        expected_pc = 0
+        for ins in instructions:
+            assert ins.pc == expected_pc
+            expected_pc = ins.pc + ins.size
+        assert instructions[-1].pc < len(code)
+        assert expected_pc >= len(code)
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=200)
+    @example(bytes([0x7F, 0x01]))          # PUSH32 with 31 missing bytes
+    @example(bytes([Op.PUSH2, 0xAB]))      # PUSH2 with 1 missing byte
+    def test_push_operands_agree_with_machine_predecode(self, code):
+        """The disassembler's PUSH immediates (including right-padded
+        truncated ones) equal the interpreter's predecoded operands —
+        one decode, two consumers, no drift."""
+        analysis = analyze_code(code)
+        for ins in disassemble(code):
+            if is_push(ins.opcode):
+                entry = analysis.decoded[ins.pc]
+                assert entry is not None
+                assert entry[2] == ins.operand
+
+
+_FOLDABLE_OPS = (Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD,
+                 Op.AND, Op.OR, Op.XOR, Op.LT, Op.GT, Op.EQ)
+
+
+class TestAbstractInterpreterProperties:
+    """On straight-line constant code the abstract interpreter is exact."""
+
+    @given(u256, st.lists(st.tuples(st.sampled_from(_FOLDABLE_OPS), u256),
+                          min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_const_facts_agree_with_concrete_machine(self, x0, steps):
+        body = bytes([0x7F]) + x0.to_bytes(32, "big")
+        for op, k in steps:
+            body += bytes([0x7F]) + k.to_bytes(32, "big") + bytes([op])
+
+        # concrete: store the accumulator and return it
+        code = body + bytes([0x60, 0x00, Op.MSTORE,
+                             0x60, 0x20, 0x60, 0x00, Op.RETURN])
+        world = WorldState()
+        world.account(1)
+        machine = Machine(world, BlockContext())
+        result = machine.execute(Message(
+            address=1, caller=2, origin=2, value=0, data=b"",
+            gas=10 ** 6, code=code))
+        assert result.success, result.error
+        concrete = int.from_bytes(result.returndata, "big")
+
+        # abstract: the same straight line is one basic block
+        cfg = build_cfg(body + bytes([Op.STOP]))
+        block = cfg.blocks[min(cfg.blocks)]
+        out = transfer_block(block)
+        assert out.stack
+        assert out.stack[-1] == ("const", concrete)

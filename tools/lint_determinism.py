@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Determinism lint: AST checks for nondeterminism-prone Python idioms.
+
+The repro's headline guarantee is byte-identical results across worker
+counts, backends, and interruption points.  The usual way that guarantee
+rots is innocuous-looking Python: iterating a set straight into output,
+ordering by ``id()``, or drawing from the process-global ``random``
+module instead of the engine's seeded ``random.Random`` instances.  This
+lint walks the AST of every source file and flags:
+
+``set-iteration``
+    ``for x in {...}:`` / ``for x in set(...):`` / ``for x in
+    frozenset(...):`` (statements and comprehensions).  Set iteration
+    order depends on hash seeding; anything it feeds — serialized
+    output, RNG draws, dispatch order — inherits that.  Wrap the
+    iterable in ``sorted(...)`` (which the lint accepts) or iterate a
+    list/tuple/dict instead.
+
+``id-ordering``
+    ``sorted`` / ``min`` / ``max`` whose arguments mention ``id(...)``.
+    CPython ``id()`` is an address: orderings keyed on it differ across
+    processes, so any two workers disagree.
+
+``global-random``
+    ``random.<fn>()`` calls on the module-global generator (seeded from
+    OS entropy).  Engine code must draw from an explicitly seeded
+    ``random.Random(seed)`` instance; ``random.Random(...)`` itself is
+    the one allowed attribute access.
+
+Usage: ``python tools/lint_determinism.py [PATHS...]`` (default:
+``src/``).  Exits 1 when any violation is found, printing one
+``file:line: rule: message`` per finding in path order.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: functions whose call-sites are ordering-sensitive (rule ``id-ordering``)
+_ORDERING_FUNCS = frozenset({"sorted", "min", "max"})
+
+#: ``random.<name>`` attributes that are fine on the module itself
+_ALLOWED_RANDOM_ATTRS = frozenset({"Random", "SystemRandom"})
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Is ``node`` a set display or a direct set()/frozenset() call?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+def _mentions_id_call(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if (isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name)
+                and sub.func.id == "id"):
+            return True
+    return False
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: list[tuple[str, int, str, str]] = []
+
+    def _add(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append((self.path, node.lineno, rule, message))
+
+    # -- rule: set-iteration ---------------------------------------------------
+
+    def _check_iter(self, iter_node: ast.expr) -> None:
+        if _is_set_expr(iter_node):
+            self._add(iter_node, "set-iteration",
+                      "iterating a set directly; wrap in sorted(...) or "
+                      "iterate an ordered collection")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for comp in node.generators:
+            self._check_iter(comp.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    # -- rules: id-ordering and global-random ----------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _ORDERING_FUNCS:
+            ordering_args = list(node.args) + [kw.value
+                                               for kw in node.keywords]
+            if any(_mentions_id_call(arg) for arg in ordering_args):
+                self._add(node, "id-ordering",
+                          f"{func.id}() keyed on id(): orderings differ "
+                          f"across processes")
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+                and func.attr not in _ALLOWED_RANDOM_ATTRS):
+            self._add(node, "global-random",
+                      f"random.{func.attr}() draws from the unseeded "
+                      f"process-global RNG; use a seeded random.Random "
+                      f"instance")
+        self.generic_visit(node)
+
+
+def lint_file(path: Path) -> list[tuple[str, int, str, str]]:
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:
+        return [(str(path), exc.lineno or 0, "syntax-error", str(exc.msg))]
+    linter = _Linter(str(path))
+    linter.visit(tree)
+    return linter.findings
+
+
+def lint_paths(paths) -> list[tuple[str, int, str, str]]:
+    findings = []
+    for root in paths:
+        root = Path(root)
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            findings.extend(lint_file(file))
+    return findings
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    paths = argv or ["src"]
+    findings = lint_paths(paths)
+    for path, line, rule, message in findings:
+        print(f"{path}:{line}: {rule}: {message}")
+    if findings:
+        print(f"{len(findings)} determinism violation(s)")
+        return 1
+    print(f"determinism lint: clean "
+          f"({sum(1 for _ in _iter_files(paths))} files)")
+    return 0
+
+
+def _iter_files(paths):
+    for root in paths:
+        root = Path(root)
+        if root.is_dir():
+            yield from root.rglob("*.py")
+        else:
+            yield root
+
+
+if __name__ == "__main__":
+    sys.exit(main())
