@@ -68,6 +68,16 @@ SURFACE_ITERS = 300
 SURFACE_ITERS_SMOKE = 50
 #: interleaved A/B rounds per contract for the surface-pruning series
 SURFACE_ROUNDS = 2
+#: campaign iterations for the block-fusion A/B series
+BLOCK_FUSION_ITERS = 300
+BLOCK_FUSION_ITERS_SMOKE = 50
+#: interleaved A/B rounds per contract for the block-fusion series
+BLOCK_FUSION_ROUNDS = 2
+#: d3 contracts sampled for the block-fusion series' second corpus
+BLOCK_FUSION_D3 = 3
+#: acceptance floor: fused campaigns must be at least this much faster
+#: than the table loop on the d2 corpus (median of paired ratios)
+BLOCK_FUSION_TARGET_D2 = 1.25
 
 
 def _smoke() -> bool:
@@ -296,6 +306,141 @@ def _surface_pruning_series(contracts, iters: int) -> dict:
     }
 
 
+def _block_fusion_series(contracts, iters: int) -> dict:
+    """A/B series: identical campaigns with block-fused execution on vs
+    off (the table loop).
+
+    Campaign results are byte-identical either way (the golden-fixture
+    guard pins that), so the series isolates the dispatch overhead the
+    fused tier amortizes away: per-opcode loop iterations, gas/step
+    checks, and stack traffic that constant folding elides.  Same
+    hostile-conditions estimator as the other A/B series: back-to-back
+    arms per round, alternating order, median of the paired off/on time
+    ratios.
+
+    Both arms run with the prefix-snapshot state cache *off* (like the
+    replay/campaign series): the cache skips whole transaction replays,
+    which is orthogonal to how each executed step is dispatched, and
+    leaving it on would dilute the interpreter share of wall time until
+    the series mostly measures scheduling noise.  This series tracks the
+    *interpreter's* perf trajectory.
+    """
+    from repro.evm import fusion
+
+    ratios = []
+    total = {"off": 0.0, "on": 0.0}
+    steps = 0
+    for contract in contracts:
+        # warm the compile/analysis/fusion caches outside the timed region
+        Fuzzer(contract.artifact,
+               mufuzz_config(iterations=2, rng_seed=7)).run()
+        for round_no in range(BLOCK_FUSION_ROUNDS):
+            arms = ("off", "on") if round_no % 2 == 0 else ("on", "off")
+            elapsed = {}
+            for arm in arms:
+                fuzzer = Fuzzer(contract.artifact, mufuzz_config(
+                    iterations=iters, rng_seed=7,
+                    use_state_cache=False,
+                    use_block_fusion=arm == "on"))
+                start = time.perf_counter()
+                result = fuzzer.run()
+                elapsed[arm] = time.perf_counter() - start
+                total[arm] += elapsed[arm]
+                if arm == "on":
+                    steps += result.total_steps
+            ratios.append(elapsed["off"] / elapsed["on"])
+    ratios.sort()
+    stats = fusion.fusion_stats()
+    blocks = (stats["blocks_fused"] + stats["blocks_interp"]
+              + stats["blocks_bailout"])
+    return {
+        "speedup": round(ratios[len(ratios) // 2], 3) if ratios else None,
+        "fused_steps_per_sec": (round(steps / total["on"])
+                                if total["on"] else None),
+        "table_steps_per_sec": (round(steps / total["off"])
+                                if total["off"] else None),
+        "blocks_fused_share": (round(stats["blocks_fused"] / blocks, 4)
+                               if blocks else 0.0),
+        "folded_ops": stats["folded_ops"],
+        "threaded_jumps": stats["threaded_jumps"],
+        "runtime_bailouts": stats["runtime_bailouts"],
+        "iterations": iters,
+        "rounds": BLOCK_FUSION_ROUNDS,
+        "pairs": len(ratios),
+    }
+
+
+def _profile_breakdown(contracts, iters: int) -> list[str]:
+    """``--profile``: run a fused campaign under cProfile and attribute
+    interpreter time per opcode handler and per fused/interp block.
+
+    Handler functions are mapped back to mnemonics through
+    ``SIMPLE_HANDLERS`` (the factory-made closures all share the name
+    ``handler``; their code objects disambiguate), and generated fused
+    blocks are recognized by their ``<fusion:digest:mask>`` filenames —
+    so the report shows where interpreter time actually lands after
+    fusion, not just aggregate throughput.
+    """
+    import cProfile
+    import pstats
+
+    from repro.evm import fusion
+    from repro.evm.handlers import SIMPLE_HANDLERS
+    from repro.evm.opcodes import mnemonic
+
+    handler_keys = {}
+    for op, fn in SIMPLE_HANDLERS.items():
+        code = fn.__code__
+        key = (code.co_filename, code.co_firstlineno, code.co_name)
+        handler_keys.setdefault(key, []).append(mnemonic(op))
+
+    fuzzers = [Fuzzer(c.artifact,
+                      mufuzz_config(iterations=iters, rng_seed=7))
+               for c in contracts]
+    for fuzzer in fuzzers:  # warm compile/analysis/fusion caches
+        fuzzer._execute(fuzzer._fresh_seed())
+    profile = cProfile.Profile()
+    profile.enable()
+    for fuzzer in fuzzers:
+        fuzzer.run()
+    profile.disable()
+
+    per_opcode: dict[str, float] = {}
+    per_block: dict[str, float] = {}
+    other = 0.0
+    stats = pstats.Stats(profile)
+    for key, (_cc, _nc, tottime, _ct, _callers) in stats.stats.items():
+        names = handler_keys.get(key)
+        if names is not None:
+            label = "/".join(sorted(names))
+            per_opcode[label] = per_opcode.get(label, 0.0) + tottime
+        elif key[0].startswith("<fusion:"):
+            label = f"{key[2]} {key[0]}"
+            per_block[label] = per_block.get(label, 0.0) + tottime
+        elif key[2] in ("run", "_run_fused", "_run_table"):
+            per_block[key[2]] = per_block.get(key[2], 0.0) + tottime
+        else:
+            other += tottime
+
+    lines = ["per-opcode handler time (tottime, seconds):"]
+    for label, t in sorted(per_opcode.items(), key=lambda kv: -kv[1])[:20]:
+        lines.append(f"  {label:<24} {t:8.4f}")
+    lines.append("per-block / dispatch-loop time (tottime, seconds):")
+    for label, t in sorted(per_block.items(), key=lambda kv: -kv[1])[:20]:
+        lines.append(f"  {label:<48} {t:8.4f}")
+    lines.append(f"everything else: {other:.4f}s")
+    fstats = fusion.fusion_stats()
+    lines.append(f"fusion: {fstats['programs']} programs, "
+                 f"{fstats['blocks_fused']} fused / "
+                 f"{fstats['blocks_interp']} interp / "
+                 f"{fstats['blocks_bailout']} bailout blocks, "
+                 f"{fstats['folded_ops']} ops folded, "
+                 f"{fstats['threaded_jumps']} jumps threaded, "
+                 f"{fstats['fused_steps']} steps on the fused tier, "
+                 f"{fstats['runtime_bailouts']} runtime bailouts")
+    return lines
+
+
 def run_evm_bench(smoke: bool | None = None) -> dict:
     """Run both workloads and persist the variant entry in BENCH_evm.json."""
     if smoke is None:
@@ -316,12 +461,20 @@ def run_evm_bench(smoke: bool | None = None) -> dict:
     }
     surface_pruning = _surface_pruning_series(
         contracts, SURFACE_ITERS_SMOKE if smoke else SURFACE_ITERS)
+    fusion_iters = (BLOCK_FUSION_ITERS_SMOKE if smoke
+                    else BLOCK_FUSION_ITERS)
+    block_fusion = {
+        "d2": _block_fusion_series(contracts, fusion_iters),
+        "d3": _block_fusion_series(generate_d3(count=BLOCK_FUSION_D3),
+                                   fusion_iters),
+    }
     entry = {
         "replay": replay,
         "campaign": campaign,
         "telemetry_overhead": overhead,
         "state_cache": state_cache,
         "surface_pruning": surface_pruning,
+        "block_fusion": block_fusion,
         "contracts": [c.name for c in contracts],
         "smoke": smoke,
     }
@@ -370,6 +523,13 @@ def test_evm_throughput(report):
                  f"{p['oracles_pruned']} oracle(s) pruned over "
                  f"{p['contracts_with_dead_classes']}/{p['contracts_total']} "
                  f"contracts ({p['pairs']} pairs)")
+    for corpus, series in entry["block_fusion"].items():
+        lines.append(f"  block-fusion [{corpus}] {series['speedup']}x "
+                     f"campaign speedup, "
+                     f"{series['blocks_fused_share']:.0%} blocks fused, "
+                     f"{series['folded_ops']} ops folded, "
+                     f"{series['threaded_jumps']} jumps threaded "
+                     f"({series['pairs']} pairs)")
     report("evm_throughput", "\n".join(lines))
     assert entry["replay"]["steps_per_sec"] > 0
     # enabled telemetry must stay within the observability budget of the
@@ -392,8 +552,26 @@ def test_evm_throughput(report):
     assert p["oracles_pruned"] > 0, "surface pruned nothing on d2"
     assert p["speedup"] >= 0.97, (
         f"surface pruning slowed campaigns down ({p['speedup']}x)")
+    # block fusion must clear its acceptance floor on d2 and must never
+    # cost wall-clock on d3 (both medians of paired interleaved rounds)
+    fd2 = entry["block_fusion"]["d2"]
+    assert fd2["blocks_fused_share"] > 0.5, (
+        f"fusion compiled only {fd2['blocks_fused_share']:.0%} of blocks "
+        f"to the fused tier")
+    assert fd2["speedup"] >= BLOCK_FUSION_TARGET_D2, (
+        f"block fusion d2 campaign speedup {fd2['speedup']}x is below the "
+        f"{BLOCK_FUSION_TARGET_D2}x acceptance floor")
+    fd3 = entry["block_fusion"]["d3"]
+    assert fd3["speedup"] >= 1.0, (
+        f"block fusion slowed d3 campaigns down ({fd3['speedup']}x)")
 
 
 if __name__ == "__main__":
+    if "--profile" in sys.argv:
+        contracts = _bench_contracts(N_CONTRACTS_SMOKE)
+        for line in _profile_breakdown(contracts, CAMPAIGN_ITERS_SMOKE
+                                       if _smoke() else CAMPAIGN_ITERS):
+            print(line)
+        raise SystemExit(0)
     result = run_evm_bench()
     print(json.dumps(result, indent=2))

@@ -241,7 +241,7 @@ def _transfer(block, state: AbsState, facts: AbstractFacts) -> AbsState:
                 operand_tags = tags_of(a) | tags_of(b)
                 if operand_tags:
                     facts.add_candidate("IO", pc)
-            push(_fold_binary(op, a, b))
+            push(fold_binary(op, a, b))
             continue
 
         if op in (Op.LT, Op.GT, Op.SLT, Op.SGT, Op.EQ):
@@ -256,7 +256,7 @@ def _transfer(block, state: AbsState, facts: AbstractFacts) -> AbsState:
                     facts.add_candidate("SE", pc)
             if "origin" in tags_of(a) | tags_of(b):
                 facts.add_candidate("TO", pc)
-            push(_fold_binary(op, a, b))
+            push(fold_binary(op, a, b))
             continue
 
         if op == Op.ISZERO:
@@ -396,8 +396,13 @@ def _transfer(block, state: AbsState, facts: AbstractFacts) -> AbsState:
     return AbsState(stack=tuple(stack), mem_tags=mem_tags)
 
 
-def _fold_binary(op: int, a: tuple, b: tuple) -> tuple:
-    """Constant-fold a binary op (EVM operand order: ``a`` is stack top)."""
+def fold_binary(op: int, a: tuple, b: tuple) -> tuple:
+    """Constant-fold a binary op (EVM operand order: ``a`` is stack top).
+
+    Public: the block-fusion compiler (:mod:`repro.evm.fusion`) folds
+    adjacent PUSH/op pairs with exactly these value semantics, so the
+    abstract interpreter and the fused interpreter can never disagree on
+    what a constant expression evaluates to."""
     if a[0] == "const" and b[0] == "const":
         x, y = a[1], b[1]
         if op == Op.ADD:

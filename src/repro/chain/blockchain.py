@@ -59,7 +59,8 @@ class Chain:
 
     def __init__(self, world: WorldState | None = None,
                  max_steps: int = 200_000,
-                 event_mask: int = EV_ALL, oracle_bus=None) -> None:
+                 event_mask: int = EV_ALL, oracle_bus=None,
+                 block_fusion: bool | None = None) -> None:
         self.world = world if world is not None else WorldState()
         self.block = BlockContext()
         self.max_steps = max_steps
@@ -70,6 +71,9 @@ class Chain:
         #: attached to every transaction machine (never to deployments:
         #: oracles observe transactions, not constructor runs)
         self.oracle_bus = oracle_bus
+        #: block-fusion tier toggle forwarded to every Machine; None defers
+        #: to the library default (REPRO_BLOCK_FUSION)
+        self.block_fusion = block_fusion
         self._next_contract = CONTRACT_ADDRESS_BASE
         self.receipts: list[TransactionReceipt] = []
         #: set by :meth:`mark_base`; while active, the world journal is
@@ -105,7 +109,8 @@ class Chain:
         self._next_contract += 1
         self.world.account(address)
 
-        machine = Machine(self.world, self.block, self.max_steps)
+        machine = Machine(self.world, self.block, self.max_steps,
+                          block_fusion=self.block_fusion)
         msg = Message(
             address=address, caller=sender, origin=sender, value=value,
             data=ctor_args, gas=20_000_000, code=artifact.init_code)
@@ -126,7 +131,8 @@ class Chain:
         if not self.world.exists(tx.sender):
             self.create_account(tx.sender)
         machine = Machine(self.world, self.block, self.max_steps,
-                          event_mask=self.event_mask, bus=self.oracle_bus)
+                          event_mask=self.event_mask, bus=self.oracle_bus,
+                          block_fusion=self.block_fusion)
         msg = Message(
             address=tx.to, caller=tx.sender, origin=tx.sender,
             value=tx.value, data=tx.data, gas=tx.gas,
@@ -160,7 +166,8 @@ class Chain:
         """Deep-copy the chain (point-in-time snapshot, no base mark)."""
         clone = Chain(self.world.fork(), self.max_steps,
                       event_mask=self.event_mask,
-                      oracle_bus=self.oracle_bus)
+                      oracle_bus=self.oracle_bus,
+                      block_fusion=self.block_fusion)
         clone.block = BlockContext(
             number=self.block.number, timestamp=self.block.timestamp,
             coinbase=self.block.coinbase, difficulty=self.block.difficulty,

@@ -99,6 +99,13 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="N",
                       help="memoized prefix states to keep (default: 64; "
                            "leaf-first LRU eviction beyond that)")
+    fuzz.add_argument("--block-fusion",
+                      action=argparse.BooleanOptionalAction, default=None,
+                      help="block-fused EVM execution: compile basic "
+                           "blocks into superinstruction closures with "
+                           "per-block gas prepay, constant folding, and "
+                           "threaded jumps (default: on; results are "
+                           "byte-identical either way)")
     fuzz.add_argument("--metrics", default=None, metavar="FILE",
                       help="collect telemetry during the campaign "
                            "(provably inert: results are byte-identical "
@@ -180,6 +187,12 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="N",
                       help="per-campaign memoized prefix states to keep "
                            "(default: 64)")
+    camp.add_argument("--block-fusion",
+                      action=argparse.BooleanOptionalAction, default=None,
+                      help="pin block-fused EVM execution on or off for "
+                           "every campaign in the matrix (default: the "
+                           "config default, on; results are byte-identical "
+                           "either way)")
     camp.add_argument("--surface-pruning",
                       action=argparse.BooleanOptionalAction, default=None,
                       help="pin surface-proof oracle pruning on or off for "
@@ -353,6 +366,8 @@ def cmd_fuzz(args) -> int:
         overrides["state_cache_capacity"] = args.state_cache_capacity
     if args.surface_pruning is not None:
         overrides["use_surface_pruning"] = args.surface_pruning
+    if args.block_fusion is not None:
+        overrides["use_block_fusion"] = args.block_fusion
     config = PRESET_CONFIGS[args.fuzzer](rng_seed=args.seed, **overrides)
 
     session = None
@@ -530,6 +545,7 @@ def cmd_campaign(args) -> int:
         state_cache=args.state_cache,
         state_cache_capacity=args.state_cache_capacity,
         surface_pruning=args.surface_pruning,
+        block_fusion=args.block_fusion,
         telemetry=telemetry)
 
     if run.results_dir is not None:

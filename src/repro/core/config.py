@@ -93,6 +93,14 @@ class FuzzerConfig:
     # campaign results byte-identical with pruning on or off.
     use_surface_pruning: bool = True
 
+    # Block-fused EVM execution: basic blocks compile to superinstruction
+    # closures (per-block gas/step prepay, baked PUSH immediates, constant
+    # folding, threaded PUSH+JUMP links — see repro.evm.fusion).  On by
+    # default and opt-out (--no-block-fusion / REPRO_BLOCK_FUSION=0): a
+    # pure performance tier, pinned byte-identical on or off by the
+    # golden-fixture guard.
+    use_block_fusion: bool = True
+
     # execution environment
     tx_gas: int = 5_000_000
     max_steps_per_tx: int = 60_000

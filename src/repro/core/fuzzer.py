@@ -218,7 +218,8 @@ class Fuzzer:
     # -- environment -------------------------------------------------------------
 
     def _setup_chain(self) -> None:
-        chain = Chain(max_steps=self.config.max_steps_per_tx)
+        chain = Chain(max_steps=self.config.max_steps_per_tx,
+                      block_fusion=self.config.use_block_fusion)
         chain.create_account(DEPLOYER)
         chain.create_account(USER_1)
         chain.create_account(USER_2)

@@ -87,7 +87,12 @@ _cache: OrderedDict[bytes, CodeAnalysis] = OrderedDict()
 #: identity fast path over the sha256 cache: code bytes live in stable
 #: objects (``Account.code`` / ``artifact.runtime_code``), so ``id(code)``
 #: is a safe memo key *while the entry holds a strong reference to the
-#: bytes* (which pins the id).  Skips one sha256 per frame.
+#: bytes* (which pins the id).  Skips one sha256 per frame.  A bare
+#: ``id(code)`` key is only sound because :class:`CodeAnalysis` is
+#: mask-independent; any layer that specializes per event mask must key
+#: its memo on ``(id(code), mask)`` — see the fused-program memo in
+#: :mod:`repro.evm.fusion`, where two configs sharing one worker process
+#: would otherwise cross-contaminate.
 _id_memo: dict[int, tuple] = {}
 _ID_MEMO_CAPACITY = 64
 _hits = 0

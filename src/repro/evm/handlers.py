@@ -23,6 +23,7 @@ reuse :data:`EMPTY_SHADOW` whenever the union is empty.
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 
 from repro.evm.errors import InvalidOpcode, Revert, StackUnderflow
 from repro.evm.opcodes import Op
@@ -54,9 +55,24 @@ CALLDATA_SHADOW = Shadow(frozenset({Taint.CALLDATA}))
 BLOCK_SHADOW = Shadow(frozenset({Taint.BLOCK}))
 
 
+#: SHA3 preimages during a campaign are overwhelmingly repeated (storage
+#: slot derivation over a handful of keys), so a small LRU in front of the
+#: digest pays for itself; bounded to keep long-tail campaigns flat.
+_KECCAK_CACHE: OrderedDict[bytes, int] = OrderedDict()
+_KECCAK_CACHE_CAPACITY = 1024
+
+
 def keccak(data: bytes) -> int:
     """Contract-visible hash (sha3-256 stands in for keccak-256 offline)."""
-    return int.from_bytes(hashlib.sha3_256(data).digest(), "big")
+    cached = _KECCAK_CACHE.get(data)
+    if cached is not None:
+        _KECCAK_CACHE.move_to_end(data)
+        return cached
+    value = int.from_bytes(hashlib.sha3_256(data).digest(), "big")
+    if len(_KECCAK_CACHE) >= _KECCAK_CACHE_CAPACITY:
+        _KECCAK_CACHE.popitem(last=False)
+    _KECCAK_CACHE[bytes(data)] = value
+    return value
 
 
 def _shadow(taints: frozenset) -> Shadow:

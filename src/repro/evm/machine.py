@@ -40,6 +40,8 @@ from repro.evm.errors import (
     StackOverflow,
     StackUnderflow,
 )
+from repro.evm import fusion
+from repro.evm.fusion import FUSION_BAILOUT, fused_program
 from repro.evm.handlers import keccak  # noqa: F401  (public API, re-export)
 from repro.evm.memory import Memory
 from repro.evm.stack import STACK_LIMIT, Stack
@@ -163,12 +165,19 @@ class Machine:
     """
 
     def __init__(self, world, block, max_steps: int = 200_000,
-                 event_mask: int = EV_ALL, bus=None) -> None:
+                 event_mask: int = EV_ALL, bus=None,
+                 block_fusion: bool | None = None) -> None:
         self.world = world
         self.block = block
         self.max_steps = max_steps
         self.trace = ExecutionTrace()
         self._steps = 0
+        #: gas at the most recent REVERT site — closures on the fused tier
+        #: sync it just before the raising handler so the Revert catch can
+        #: report the exact refund the table loop would have
+        self._sync_gas = 0
+        self.block_fusion = (fusion.default_enabled() if block_fusion is None
+                             else block_fusion)
         self._executed = False
         self._active_addresses: list[int] = []
         self.bus = bus
@@ -257,11 +266,58 @@ class Machine:
     # -- the interpreter loop -------------------------------------------------
 
     def _run(self, frame: CallContext, depth: int) -> ExecutionResult:
+        code = frame.msg.code
+        analysis = analyze_code(code)
+        if self.block_fusion and frame.pc == 0:
+            program = fused_program(code, self.event_mask)
+            entry = program.entry
+            if entry is not None:
+                return self._run_fused(entry, frame, depth, analysis)
+        return self._run_table(frame, depth, analysis)
+
+    def _run_fused(self, block, frame: CallContext, depth: int,
+                   analysis) -> ExecutionResult:
+        """Block-threaded outer loop (see :mod:`repro.evm.fusion`).
+
+        Each closure returns the next block's closure directly, ``None``
+        for a successful halt, or :data:`FUSION_BAILOUT` to hand the rest
+        of the frame to the table loop (always before executing any part
+        of the declining block, so the replay is byte-identical).
+        """
+        gas = frame.msg.gas
+        steps = self._steps
+        try:
+            while True:
+                nxt, gas, steps, payload = block(self, frame, depth, gas,
+                                                 steps)
+                if nxt is None:
+                    return ExecutionResult(True, payload, gas_left=gas)
+                if nxt is FUSION_BAILOUT:
+                    frame.pc = payload
+                    fusion.note_runtime_bailout()
+                    return self._run_table(frame, depth, analysis,
+                                           gas=gas, steps=steps)
+                block = nxt
+        except Revert as exc:
+            return ExecutionResult(False, error=f"revert: {exc}",
+                                   gas_left=self._sync_gas)
+        except EVMError as exc:
+            return ExecutionResult(
+                False, error=f"{type(exc).__name__}: {exc}", gas_left=0)
+        finally:
+            # raising closures sync self._steps themselves; the max keeps
+            # the count exact when an exception escaped a nested call
+            if steps > self._steps:
+                self._steps = steps
+
+    def _run_table(self, frame: CallContext, depth: int, analysis,
+                   gas: int | None = None,
+                   steps: int | None = None) -> ExecutionResult:
         msg = frame.msg
         code = msg.code
         stack = frame.stack
-        gas = msg.gas
-        analysis = analyze_code(code)
+        if gas is None:
+            gas = msg.gas
         jumpdests = analysis.jumpdests
         decoded = analysis.decoded
         n = analysis.code_len
@@ -272,7 +328,8 @@ class Machine:
         pc = frame.pc
         # local step counter: synced with self._steps only around nested
         # calls (KIND_CALL) and on frame exit — see the finally clause
-        steps = self._steps
+        if steps is None:
+            steps = self._steps
 
         try:
             while pc < n:

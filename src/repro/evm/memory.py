@@ -13,21 +13,29 @@ class Memory:
     Unaligned accesses conservatively union the shadows of the words touched.
     """
 
-    __slots__ = ("data", "_shadows")
+    __slots__ = ("data", "_shadows", "_paid")
 
     def __init__(self) -> None:
         self.data = bytearray()
         self._shadows: dict[int, Shadow] = {}
+        # Word-aligned high-water mark of already-expanded extent.  Most
+        # accesses hit memory that a previous MSTORE/MLOAD already grew, so
+        # the hot path is one integer compare instead of len() plus the
+        # round-up arithmetic.  There is no memory-expansion gas model here
+        # (gas is flat per opcode); this caches only the extent bookkeeping.
+        self._paid = 0
 
     def __len__(self) -> int:
         return len(self.data)
 
     def _expand(self, offset: int, size: int) -> None:
         end = offset + size
-        if end > len(self.data):
-            # Expand in 32-byte increments like the real EVM.
-            new_len = ((end + 31) // 32) * 32
-            self.data.extend(b"\x00" * (new_len - len(self.data)))
+        if end <= self._paid:
+            return
+        # Expand in 32-byte increments like the real EVM.
+        new_len = ((end + 31) // 32) * 32
+        self.data.extend(b"\x00" * (new_len - len(self.data)))
+        self._paid = new_len
 
     def store_word(self, offset: int, value: int, shadow: Shadow = EMPTY_SHADOW) -> None:
         """MSTORE: write a 32-byte big-endian word."""

@@ -215,6 +215,7 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
                state_cache: bool | None = None,
                state_cache_capacity: int | None = None,
                surface_pruning: bool | None = None,
+               block_fusion: bool | None = None,
                telemetry: bool = False,
                heartbeat_every: float | None = None,
                on_heartbeat=None) -> MatrixRun:
@@ -249,7 +250,8 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
     results are byte-identical either way.  ``surface_pruning`` likewise
     pins ``use_surface_pruning`` (oracle pruning from the vulnerability
     surface's opcode-absence proofs) with the same byte-identity
-    guarantee.
+    guarantee, and ``block_fusion`` pins ``use_block_fusion`` (the
+    superinstruction execution tier of :mod:`repro.evm.fusion`).
 
     ``telemetry=True`` collects per-job metrics/span deltas (merged into
     ``MatrixRun.stats.telemetry``, embedded in result records) and turns
@@ -268,11 +270,12 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
                              "bug_classes override; pass it one way")
         overrides["bug_classes"] = list(normalize_bug_classes(oracles))
     if (state_cache is not None or state_cache_capacity is not None
-            or surface_pruning is not None):
+            or surface_pruning is not None or block_fusion is not None):
         overrides = dict(overrides or {})
         for key, value in (("use_state_cache", state_cache),
                            ("state_cache_capacity", state_cache_capacity),
-                           ("use_surface_pruning", surface_pruning)):
+                           ("use_surface_pruning", surface_pruning),
+                           ("use_block_fusion", block_fusion)):
             if value is None:
                 continue
             if key in overrides:

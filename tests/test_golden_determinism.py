@@ -55,6 +55,13 @@ _SURFACE_PRUNING = os.environ.get("REPRO_SURFACE_PRUNING")
 if _SURFACE_PRUNING is not None:
     OVERRIDES["use_surface_pruning"] = _SURFACE_PRUNING == "1"
 
+# And for block-fused execution: superinstruction closures must replay
+# the exact table-loop semantics (gas, steps, events, errors), so the
+# whole golden matrix sweeps byte-identical fused and unfused.
+_BLOCK_FUSION = os.environ.get("REPRO_BLOCK_FUSION")
+if _BLOCK_FUSION is not None:
+    OVERRIDES["use_block_fusion"] = _BLOCK_FUSION == "1"
+
 
 def _golden_contracts() -> list:
     d2 = generate_d2()
@@ -169,6 +176,20 @@ def test_surface_pruning_is_transparent_to_golden_fixture(use_pruning):
         (f"use_surface_pruning={use_pruning} diverged from the golden "
          f"fixture — pruned oracles must be provably-dead, never merely "
          f"unlikely")
+
+
+@pytest.mark.parametrize("use_fusion", [False, True],
+                         ids=["fusion-off", "fusion-on"])
+def test_block_fusion_is_transparent_to_golden_fixture(use_fusion):
+    """One fixture, both execution tiers: block-fused superinstruction
+    closures must leave campaign results byte-identical to the per-opcode
+    table loop (the guard behind ``use_block_fusion=True`` by default)."""
+    assert GOLDEN_PATH.exists(), \
+        "golden fixture missing — see module docstring to regenerate"
+    got = _canonical_run("inline", use_block_fusion=use_fusion)
+    assert got == GOLDEN_PATH.read_text(), \
+        (f"use_block_fusion={use_fusion} diverged from the golden fixture "
+         f"— fused blocks must replay the table loop's exact semantics")
 
 
 def test_golden_findings_replay_from_witnesses():

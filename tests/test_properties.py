@@ -19,7 +19,15 @@ from repro.core.masking import (
 from repro.core.seeds import TxCall
 from repro.evm.machine import Machine, Message, keccak
 from repro.evm.opcodes import Op
-from repro.evm.trace import combine_and, combine_or, comparison_shadow
+from repro.evm.trace import (
+    EV_ALL,
+    EV_BRANCH,
+    EV_COMPARE,
+    EV_OVERFLOW,
+    combine_and,
+    combine_or,
+    comparison_shadow,
+)
 from repro.analysis.absint import transfer_block
 from repro.analysis.cfg import build_cfg
 from repro.analysis.disassembler import disassemble
@@ -346,3 +354,136 @@ class TestAbstractInterpreterProperties:
         out = transfer_block(block)
         assert out.stack
         assert out.stack[-1] == ("const", concrete)
+
+
+# -- block-fusion differential ------------------------------------------------
+
+#: ops safe for random straight-line programs (no control flow, no calls);
+#: arities are tracked by the composer so generated code never underflows
+_FUSION_BINOPS = (Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.AND, Op.OR,
+                  Op.XOR, Op.SHL, Op.SHR, Op.LT, Op.GT, Op.SLT, Op.SGT,
+                  Op.EQ)
+_FUSION_UNOPS = (Op.ISZERO, Op.NOT)
+_FUSION_SOURCES = (Op.CALLER, Op.CALLVALUE, Op.NUMBER, Op.TIMESTAMP,
+                   Op.ADDRESS, Op.CALLDATASIZE)
+
+_fusion_step = st.one_of(
+    st.tuples(st.just("push"), u256),
+    st.tuples(st.just("binop"), st.sampled_from(_FUSION_BINOPS)),
+    st.tuples(st.just("unop"), st.sampled_from(_FUSION_UNOPS)),
+    st.tuples(st.just("source"), st.sampled_from(_FUSION_SOURCES)),
+    st.tuples(st.just("dup"), st.integers(min_value=1, max_value=4)),
+    st.tuples(st.just("swap"), st.integers(min_value=1, max_value=4)),
+    st.tuples(st.just("pop"), st.just(0)),
+    st.tuples(st.just("mstore"), st.integers(min_value=0, max_value=3)),
+    st.tuples(st.just("mload"), st.integers(min_value=0, max_value=3)),
+    st.tuples(st.just("sstore"), st.integers(min_value=0, max_value=3)),
+    st.tuples(st.just("sload"), st.integers(min_value=0, max_value=3)),
+)
+
+
+def _compose_straight_line(steps) -> bytes:
+    """Assemble a valid straight-line program: ops that would underflow the
+    statically tracked stack depth are skipped, so fused and table runs
+    only ever diverge through a real semantics bug, never a bad input."""
+    out = bytearray()
+    depth = 0
+    for tag, arg in steps:
+        if tag == "push":
+            out += bytes([0x7F]) + arg.to_bytes(32, "big")
+            depth += 1
+        elif tag == "binop" and depth >= 2:
+            out.append(arg)
+            depth -= 1
+        elif tag == "unop" and depth >= 1:
+            out.append(arg)
+        elif tag == "source":
+            out.append(arg)
+            depth += 1
+        elif tag == "dup" and depth >= arg:
+            out.append(0x80 + arg - 1)
+            depth += 1
+        elif tag == "swap" and depth >= arg + 1:
+            out.append(0x90 + arg - 1)
+        elif tag == "pop" and depth >= 1:
+            out.append(Op.POP)
+            depth -= 1
+        elif tag == "mstore" and depth >= 1:
+            out += bytes([0x60, arg * 32, Op.MSTORE])
+            depth -= 1
+        elif tag == "mload":
+            out += bytes([0x60, arg * 32, Op.MLOAD])
+            depth += 1
+        elif tag == "sstore" and depth >= 1:
+            out += bytes([0x60, arg, Op.SSTORE])
+            depth -= 1
+        elif tag == "sload":
+            out += bytes([0x60, arg, Op.SLOAD])
+            depth += 1
+    out.append(Op.STOP)
+    return bytes(out)
+
+
+def _run_fusion_arm(code: bytes, mask: int, fused: bool):
+    """Execute ``code`` via Machine._run so the final frame stack survives
+    for comparison (execute() would drop the frame)."""
+    from repro.evm.machine import CallContext
+
+    world = WorldState()
+    world.account(1)
+    machine = Machine(world, BlockContext(), event_mask=mask,
+                      block_fusion=fused)
+    machine._steps = 0
+    msg = Message(address=1, caller=2, origin=2, value=7,
+                  data=b"\x5a" * 36, gas=10 ** 6, code=code)
+    frame = CallContext(msg=msg)
+    result = machine._run(frame, 0)
+    storage = dict(world.account(1).storage)
+    trace = machine.trace
+    return {
+        "success": result.success,
+        "returndata": result.returndata,
+        "error": result.error,
+        "gas_left": result.gas_left,
+        "stack_values": list(frame.stack.values),
+        "stack_shadows": list(frame.stack.shadows),
+        "memory": bytes(frame.memory.data),
+        "storage": storage,
+        "steps": machine._steps,
+        "branches": trace.branches,
+        "compares": trace.compares,
+        "overflows": trace.overflows,
+        "storage_ops": trace.storage_ops,
+        "block_reads": trace.block_reads,
+        "caller_checked": frame.caller_checked,
+    }
+
+
+class TestBlockFusionDifferential:
+    """Fused superinstruction closures are observationally identical to the
+    per-opcode table loop: same stack (values *and* shadows), gas, steps,
+    memory, storage, and trace-event streams, under every event mask."""
+
+    @given(steps=st.lists(_fusion_step, min_size=1, max_size=24),
+           mask=st.sampled_from((0, EV_ALL,
+                                 EV_COMPARE | EV_BRANCH, EV_OVERFLOW)))
+    @settings(max_examples=120, deadline=None)
+    def test_fused_equals_table_on_straight_line_code(self, steps, mask):
+        code = _compose_straight_line(steps)
+        table = _run_fusion_arm(code, mask, fused=False)
+        fused = _run_fusion_arm(code, mask, fused=True)
+        assert fused == table
+
+    @given(a=u256, b=u256,
+           op=st.sampled_from((Op.ADD, Op.SUB, Op.MUL, Op.LT, Op.EQ)))
+    @settings(max_examples=60, deadline=None)
+    def test_folded_constants_match_runtime_handlers(self, a, b, op):
+        """PUSH/PUSH/op folds at compile time under mask 0 and runs the
+        real handler under EV_ALL — both must agree with the table loop."""
+        code = (bytes([0x7F]) + b.to_bytes(32, "big")
+                + bytes([0x7F]) + a.to_bytes(32, "big")
+                + bytes([op, Op.STOP]))
+        for mask in (0, EV_ALL):
+            table = _run_fusion_arm(code, mask, fused=False)
+            fused = _run_fusion_arm(code, mask, fused=True)
+            assert fused == table
