@@ -72,6 +72,12 @@ def bench_persistence(label: str) -> dict:
     every = os.environ.get("REPRO_BENCH_CHECKPOINT_EVERY")
     if every:
         kwargs["checkpoint_every"] = int(every)
+    # REPRO_BENCH_STORE picks the result-store backend (json | sqlite);
+    # unset defers to run_matrix's own resolution (existing store format,
+    # then REPRO_STORE, then json)
+    store = os.environ.get("REPRO_BENCH_STORE")
+    if store:
+        kwargs["store"] = store
     return kwargs
 
 
@@ -91,6 +97,8 @@ def record_matrix_timing(label: str, run) -> None:
     stats = run.stats.to_wire()
     stats.pop("telemetry", None)  # registry snapshots are too bulky here
     stats.pop("elapsed", None)    # recorded as wall_clock_s below
+    if stats.get("store") is None:  # in-memory run: drop the null field
+        stats.pop("store", None)
     data[label] = {
         "cells": len(run.outcomes),
         "executed": run.executed,

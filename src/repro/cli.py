@@ -4,6 +4,7 @@ Commands
 --------
 ``fuzz FILE``      run a fuzzing campaign on a MiniSol source file
 ``campaign``       run a contract × fuzzer × trial matrix across workers
+``report DIR``     aggregate persisted findings across runs
 ``top DIR``        live view of a running campaign matrix
 ``replay PATH``    re-trigger persisted findings from their witnesses
 ``compile FILE``   compile and print bytecode size, ABI, storage layout
@@ -152,8 +153,16 @@ def build_parser() -> argparse.ArgumentParser:
                            "1 = inline, no subprocesses — unless "
                            "--job-timeout forces isolation)")
     camp.add_argument("--results-dir", default=None,
-                      help="persist per-job JSON results here and skip "
+                      help="persist per-job results here and skip "
                            "already-completed jobs on rerun")
+    camp.add_argument("--store", choices=("json", "sqlite"), default=None,
+                      help="result-store backend for --results-dir: json "
+                           "= one canonical record file per job; sqlite = "
+                           "one WAL-mode results.db with batched writes "
+                           "and indexed resume/report queries. Default: "
+                           "an existing store's own format, else "
+                           "$REPRO_STORE, else json. The canonical "
+                           "artifact is byte-identical either way")
     camp.add_argument("--job-timeout", type=float, default=None,
                       help="per-job wall-clock timeout in seconds, "
                            "measured from dispatch to a worker process — "
@@ -208,6 +217,29 @@ def build_parser() -> argparse.ArgumentParser:
                       help="implies --telemetry; additionally write the "
                            "run's merged metrics (counters, histograms, "
                            "spans, throughput) to FILE as canonical JSON")
+
+    report = sub.add_parser(
+        "report",
+        help="aggregate persisted findings across runs (per-class "
+             "counts, severity rollups, per-contract tables)")
+    report.add_argument("results_dir",
+                        help="a results directory produced by 'repro "
+                             "campaign --results-dir' (json or sqlite "
+                             "store)")
+    report.add_argument("--contract", default=None,
+                        help="only findings in this contract")
+    report.add_argument("--bug-class", default=None, metavar="CLASSES",
+                        help="only these bug classes (comma-separated "
+                             "codes, e.g. RE,IO)")
+    report.add_argument("--severity", default=None,
+                        choices=("high", "medium", "low"),
+                        help="only findings of this severity")
+    report.add_argument("--preset", default=None,
+                        help="only findings reported by this fuzzer "
+                             "preset")
+    report.add_argument("--json", action="store_true",
+                        help="emit the aggregated report as canonical "
+                             "JSON instead of tables")
 
     top = sub.add_parser(
         "top",
@@ -546,10 +578,12 @@ def cmd_campaign(args) -> int:
         state_cache_capacity=args.state_cache_capacity,
         surface_pruning=args.surface_pruning,
         block_fusion=args.block_fusion,
-        telemetry=telemetry)
+        telemetry=telemetry, store=args.store)
 
     if run.results_dir is not None:
-        log.info(f"results dir: {run.results_dir} "
+        backend_note = ((run.stats.store or {}).get("backend")
+                        or "json")
+        log.info(f"results dir: {run.results_dir} [{backend_note} store] "
                  f"({run.cached} cached, {run.executed} executed)")
     stats = run.stats
     if run.executed and (stats.compile_cache_hits
@@ -634,6 +668,14 @@ def _render_top_frame(record: dict) -> None:
                  f"{stats.get('execs_per_sec', 0.0):.1f} execs/s, "
                  f"compile cache hit rate "
                  f"{stats.get('cache_hit_rate', 0.0):.0%}")
+        store = stats.get("store")
+        if store:
+            log.info(f"store [{store.get('backend', '?')}]: "
+                     f"{store.get('records_saved', 0)} record(s) saved, "
+                     f"{store.get('rows_written', 0)} row(s) written in "
+                     f"{store.get('batch_flushes', 0)} flush(es), "
+                     f"{store.get('queries', 0)} quer(ies) in "
+                     f"{store.get('query_ms', 0.0):.1f}ms")
 
 
 def cmd_top(args) -> int:
@@ -676,12 +718,30 @@ def cmd_top(args) -> int:
 def _replay_records(paths) -> list:
     """(path, record) pairs from record files and results directories."""
     import json
-    from repro.orchestrator.store import CHECKPOINT_SUFFIX, TELEMETRY_SUFFIX
+    from repro.orchestrator.store import (CHECKPOINT_SUFFIX,
+                                          TELEMETRY_SUFFIX, DB_NAME,
+                                          ResultStore)
     from pathlib import Path
 
     records = []
     for raw in paths:
         path = Path(raw)
+        if path.is_dir() and (path / DB_NAME).exists():
+            # a sqlite store: records come from the database, not files
+            store = ResultStore(path)
+            try:
+                canonical = store.canonical_records()
+            finally:
+                store.close()
+            for job_id, text in sorted(canonical.items()):
+                record = json.loads(text)
+                if "source" not in record:
+                    raise ValueError(
+                        f"{path}/{job_id}: record predates the witness "
+                        f"schema (no embedded source); re-run the "
+                        f"campaign to refresh it")
+                records.append((path / f"{job_id}.json", record))
+            continue
         if path.is_dir():
             files = sorted(p for p in path.glob("*.json")
                            if not p.name.endswith(CHECKPOINT_SUFFIX)
@@ -739,6 +799,48 @@ def cmd_replay(args) -> int:
     log.info(f"\n{total - failed}/{total} findings re-triggered"
              if total else "\nno findings to replay")
     return 0 if failed == 0 else 1
+
+
+def cmd_report(args) -> int:
+    from pathlib import Path
+    from repro.engine.checkpoint import canonical_json
+    from repro.orchestrator.store import ResultStore
+    from repro.reporting import aggregate_findings, format_findings_report
+
+    root = Path(args.results_dir)
+    if not root.is_dir():
+        log.error(f"error: {root} is not a results directory")
+        return 2
+    bug_classes = None
+    if args.bug_class is not None:
+        try:
+            parsed = _parse_oracles(args.bug_class)
+        except ValueError as exc:
+            log.error(f"error: --bug-class: {exc}")
+            return 2
+        if parsed == ():
+            log.error("error: --bug-class: 'none' selects nothing")
+            return 2
+        if parsed is not None:
+            bug_classes = [bc.value for bc in parsed]
+    store = ResultStore(root)
+    try:
+        rows = store.query_findings(contract=args.contract,
+                                    bug_class=bug_classes,
+                                    severity=args.severity,
+                                    preset=args.preset)
+        n_records = len(store.completed_ids())
+    finally:
+        store.close()
+    report = aggregate_findings(rows)
+    if args.json:
+        log.info(canonical_json(report.to_dict()))
+    else:
+        log.info(f"{store.name} store at {root}: {n_records} result "
+                 f"record(s)")
+        log.info("")
+        log.info(format_findings_report(report))
+    return 0
 
 
 def cmd_compile(args) -> int:
@@ -876,6 +978,7 @@ def cmd_corpus(args) -> int:
 _COMMANDS = {
     "fuzz": cmd_fuzz,
     "campaign": cmd_campaign,
+    "report": cmd_report,
     "top": cmd_top,
     "replay": cmd_replay,
     "compile": cmd_compile,

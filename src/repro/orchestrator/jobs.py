@@ -49,6 +49,11 @@ class CampaignJob:
     overrides: dict = field(default_factory=dict)
     #: restricted oracle set as BugClass values (None = all nine)
     supported_bug_classes: list | None = None
+    #: memoized :meth:`fingerprint` — jobs are immutable once built, and
+    #: a resume scan hashes every job several times (fresh-id check,
+    #: cached-result load, checkpoint session) without this
+    _fingerprint: str | None = field(default=None, init=False,
+                                     repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.supported_bug_classes is not None:
@@ -84,8 +89,11 @@ class CampaignJob:
         Stored alongside persisted results so a rerun only reuses a cached
         result when the source, preset, seed, and overrides all still
         match — stale results re-run instead of silently surviving."""
-        payload = json.dumps(self.to_dict(), sort_keys=True)
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+        if self._fingerprint is None:
+            payload = json.dumps(self.to_dict(), sort_keys=True)
+            self._fingerprint = hashlib.sha256(
+                payload.encode("utf-8")).hexdigest()[:16]
+        return self._fingerprint
 
     def to_dict(self) -> dict:
         return {

@@ -16,7 +16,7 @@ from repro.engine.checkpoint import canonical_json
 from repro.orchestrator import aggregate
 from repro.orchestrator.backends import create_backend
 from repro.orchestrator.jobs import build_matrix
-from repro.orchestrator.store import ResultStore
+from repro.orchestrator.store import ResultStore, atomic_write_text
 
 
 @dataclass
@@ -47,6 +47,10 @@ class RunStats:
     #: merged telemetry registry snapshot across every fresh job (None
     #: when the run did not collect telemetry)
     telemetry: dict | None = None
+    #: result-store counters (backend, records saved/loaded, rows written,
+    #: batch flushes, query time) from ``StoreBackend.stats_dict``; None
+    #: when the run kept everything in memory
+    store: dict | None = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -194,10 +198,12 @@ class _LiveProgressWriter:
         }
         if stats is not None:
             record["stats"] = stats.to_wire()
-        tmp = self.path.with_suffix(".tmp")
         try:
-            tmp.write_text(canonical_json(record))
-            tmp.replace(self.path)
+            # atomic but unsynced: a torn read is impossible, and a lost
+            # progress frame costs nothing (fsync here would put a disk
+            # stall on every heartbeat)
+            atomic_write_text(self.path, canonical_json(record),
+                              fsync=False)
         except OSError:
             pass
 
@@ -218,7 +224,8 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
                block_fusion: bool | None = None,
                telemetry: bool = False,
                heartbeat_every: float | None = None,
-               on_heartbeat=None) -> MatrixRun:
+               on_heartbeat=None,
+               store: str | None = None) -> MatrixRun:
     """Run (or resume) a campaign matrix; see module docstring.
 
     ``results_dir=None`` keeps everything in memory (no persistence,
@@ -260,6 +267,13 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
     ``repro top`` follows, and ``on_heartbeat(wire)`` (optional) sees
     every heartbeat as it arrives.  Telemetry is provably inert — results
     are byte-identical with it on or off.
+
+    ``store`` picks the result-store backend (``json`` or ``sqlite``) for
+    ``results_dir``; ``None`` honors an existing store's format, then the
+    ``REPRO_STORE`` environment variable, then defaults to ``json``.  The
+    canonical artifact is byte-identical across backends (the sqlite
+    store keeps exact canonical record text and exports to the per-file
+    layout).
     """
     start = time.perf_counter()
     if oracles is not None:
@@ -300,13 +314,12 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
                         base_seed=base_seed, overrides=overrides,
                         supported=supported)
 
-    store = ResultStore(results_dir) if results_dir is not None else None
-    cached: dict = {}
+    store = ResultStore(results_dir, backend=store) \
+        if results_dir is not None else None
+    cached = store.load_fresh(jobs) if store is not None else {}
     pending = []
     for job in jobs:
-        outcome = store.load(job) if store is not None else None
-        if outcome is not None:
-            cached[job.job_id] = outcome
+        if job.job_id in cached:
             # a completed cell's leftover checkpoint (crash between result
             # save and checkpoint cleanup) is stale — drop it
             store.clear_checkpoint(job)
@@ -345,6 +358,8 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
         for outcome in engine.run(pending, progress=on_settle):
             fresh[outcome.job.job_id] = outcome
 
+    if store is not None:
+        store.flush()  # buffered backends: every record durable before return
     outcomes = [cached[job.job_id] if job.job_id in cached
                 else fresh[job.job_id] for job in jobs]
     elapsed = time.perf_counter() - start
@@ -354,6 +369,8 @@ def run_matrix(contracts, presets, trials: int = 1, base_seed: int = 1,
         executions=sum(o.result.iterations for o in fresh_ok),
         transactions=sum(o.result.transactions for o in fresh_ok),
         elapsed=elapsed)
+    if store is not None:
+        stats.store = store.stats_dict()
     if live is not None:
         live.finalize(stats)
     return MatrixRun(

@@ -1,5 +1,10 @@
 """Result aggregation and paper-style table rendering."""
 
+from repro.reporting.findings import (
+    FindingsReport,
+    aggregate_findings,
+    format_findings_report,
+)
 from repro.reporting.results import (
     BugDetectionCell,
     aggregate_fuzzer_detection,
@@ -10,8 +15,11 @@ from repro.reporting.tables import format_table, format_percentage_bars
 
 __all__ = [
     "BugDetectionCell",
+    "FindingsReport",
+    "aggregate_findings",
     "aggregate_fuzzer_detection",
     "aggregate_static_detection",
+    "format_findings_report",
     "score_against_ground_truth",
     "format_table",
     "format_percentage_bars",

@@ -80,17 +80,21 @@ class TestCli:
                 "--trials", "2", "--iterations", "15", "--workers", "1",
                 "--results-dir", str(results_dir))
         run_cli(capsys, *argv)
-        files = sorted(results_dir.glob("*.json"))
-        assert len(files) == 4
-        victim, survivors = files[0], files[1:]
-        victim.unlink()
+        from repro.orchestrator.store import ResultStore
+        store = ResultStore(results_dir)
+        ids = sorted(store.completed_ids())
+        assert len(ids) == 4
+        victim, survivors = ids[0], ids[1:]
+        assert store.delete_record(victim)
+        store.close()
         out = run_cli(capsys, *argv)
         assert "3 cached, 1 executed" in out
         # progress lines are printed only for cells that actually ran
-        assert f"[ok] {victim.stem}:" in out
+        assert f"[ok] {victim}:" in out
         for survivor in survivors:
-            assert f"[ok] {survivor.stem}:" not in out
-        assert victim.exists()  # re-persisted
+            assert f"[ok] {survivor}:" not in out
+        with ResultStore(results_dir) as store:
+            assert victim in store.completed_ids()  # re-persisted
 
     def test_campaign_backend_and_recycle_flags(self, capsys,
                                                 crowdsale_file):
@@ -455,6 +459,7 @@ class TestKillAndResume:
         assert "executed" in resumed
         assert not any(hot_dir.glob("*.checkpoint.json"))  # all consumed
 
-        ref = {p.name: p.read_bytes() for p in ref_dir.glob("*.json")}
-        hot = {p.name: p.read_bytes() for p in hot_dir.glob("*.json")}
+        from repro.orchestrator.store import ResultStore
+        ref = ResultStore(ref_dir).canonical_records()
+        hot = ResultStore(hot_dir).canonical_records()
         assert ref and hot == ref

@@ -90,6 +90,44 @@ def test_backend_matches_golden_fixture(backend):
          f"(see module docstring)")
 
 
+@pytest.mark.parametrize("store_backend", ("json", "sqlite"))
+def test_store_backend_transparent_to_golden_fixture(store_backend,
+                                                     tmp_path):
+    """One fixture, both result stores: persisting through the per-file
+    json reference layout or the WAL-mode SQLite backend must change
+    nothing — the in-memory results still match the golden fixture, and
+    the *persisted canonical records* are byte-identical across backends
+    (SQLite's export round-trips to the exact per-file bytes)."""
+    from repro.orchestrator.store import ResultStore
+
+    assert GOLDEN_PATH.exists(), \
+        "golden fixture missing — see module docstring to regenerate"
+    results_dir = tmp_path / "results"
+    run = run_matrix(_golden_contracts(), presets=PRESETS, trials=1,
+                     overrides=dict(OVERRIDES), workers=WORKERS,
+                     backend="inline", results_dir=results_dir,
+                     store=store_backend)
+    assert not run.errors and not run.timeouts, (store_backend, run.errors)
+    record = {o.job.job_id: {**o.result.to_dict(), "wall_time": 0.0}
+              for o in run.outcomes}
+    assert canonical_json(record) == GOLDEN_PATH.read_text(), \
+        (f"store={store_backend} diverged from the golden campaign "
+         f"fixture — the result store must never touch results")
+
+    with ResultStore(results_dir) as store:
+        assert store.name == store_backend
+        persisted = store.canonical_records()
+        if store_backend == "sqlite":
+            exported = store.export(tmp_path / "exported")
+            assert {p.stem: p.read_text() for p in exported} == persisted
+    with ResultStore(tmp_path / "reference", backend="json") as ref:
+        for outcome in run.outcomes:
+            ref.save(outcome)
+        assert ref.canonical_records() == persisted, \
+            (f"store={store_backend} persisted records diverged from the "
+             f"per-file reference layout")
+
+
 @pytest.mark.parametrize("backend", sorted(BACKENDS))
 def test_interrupted_matrix_resumes_to_golden_fixture(backend, tmp_path):
     """Interrupt/resume determinism against the golden fixture, swept

@@ -135,9 +135,25 @@ class TestResultStore:
         job = _job()
         store = ResultStore(tmp_path)
         store.save(execute_job(job))
-        first = store.path_for(job).read_bytes()
+        first = store.canonical_records()[job.job_id]
         store.save(execute_job(job))
-        assert store.path_for(job).read_bytes() == first
+        assert store.canonical_records()[job.job_id] == first
+
+    def test_canonical_records_identical_across_backends(self, tmp_path):
+        """The byte-identity surface: both store backends persist the
+        exact same canonical record text for the same outcome, and the
+        sqlite export materializes the json backend's files."""
+        outcome = execute_job(_job())
+        stores = {name: ResultStore(tmp_path / name, backend=name)
+                  for name in ("json", "sqlite")}
+        for store in stores.values():
+            store.save(outcome)
+        canon = {name: store.canonical_records()
+                 for name, store in stores.items()}
+        assert canon["json"] == canon["sqlite"]
+        exported = stores["sqlite"].export(tmp_path / "exported")
+        assert [p.read_text() for p in exported] == \
+            [stores["json"].path_for(_job()).read_text()]
 
 
 class TestRunMatrix:
@@ -234,8 +250,8 @@ class TestBackends:
             assert not run.errors and not run.timeouts, backend
             assert run.backend == backend
             assert run.executed == 8
-            persisted[backend] = {p.name: p.read_bytes()
-                                  for p in results_dir.iterdir()}
+            persisted[backend] = ResultStore(results_dir) \
+                .canonical_records()
         assert len(persisted["inline"]) == 8
         assert persisted["inline"] == persisted["spawn"] == \
             persisted["pool"]
@@ -329,12 +345,12 @@ class TestParallelExecution:
         parallel = run_matrix(contracts, workers=2,
                               results_dir=parallel_dir, **kw)
         assert not serial.errors and not parallel.errors
-        serial_files = sorted(p.name for p in serial_dir.iterdir())
-        parallel_files = sorted(p.name for p in parallel_dir.iterdir())
-        assert serial_files == parallel_files and len(serial_files) == 4
-        for name in serial_files:
-            assert (serial_dir / name).read_bytes() == \
-                (parallel_dir / name).read_bytes(), name
+        serial_records = ResultStore(serial_dir).canonical_records()
+        parallel_records = ResultStore(parallel_dir).canonical_records()
+        assert sorted(serial_records) == sorted(parallel_records)
+        assert len(serial_records) == 4
+        for job_id, text in serial_records.items():
+            assert parallel_records[job_id] == text, job_id
 
     def test_worker_error_is_captured_and_others_finish(self):
         jobs = build_matrix(

@@ -261,9 +261,9 @@ class TestDeterminismGuard:
                          backend="inline", results_dir=tmp_path,
                          telemetry=True)
         (outcome,) = run.outcomes
-        record = json.loads(
-            (tmp_path / f"{outcome.job.job_id}.json").read_text())
-        assert "telemetry" in record
+        from repro.orchestrator.store import ResultStore
+        record = ResultStore(tmp_path).record_for(outcome.job.job_id)
+        assert record is not None and "telemetry" in record
         assert "telemetry" not in record["result"]
         assert record["result"]["iterations"] >= FAST["iterations"]
 
